@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""GIS navigation: pan/zoom over the cloud with a fixed point budget.
+
+The paper is about *navigation* — interactively exploring a 640-billion
+point dataset.  No viewport can draw that many points, so this example
+shows the level-of-detail machinery: an importance-ordered point pyramid
+whose every prefix is a spatially uniform subsample.  A simulated zoom
+sequence renders three viewports with the SAME point budget; detail
+appears as the view narrows, exactly like a point-cloud viewer.
+
+Run:  python examples/lod_navigation.py [output_dir]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro import Box
+from repro.datasets.lidar import generate_points, make_scene
+from repro.viz.lod import build_pyramid, uniformity
+from repro.viz.render import render_pointcloud
+
+EXTENT = Box(85_000, 445_000, 87_000, 447_000)
+BUDGET = 60_000  # points per frame: a "screen" worth
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    scene = make_scene(EXTENT, seed=12, n_buildings=60)
+    cloud = generate_points(scene, 1_000_000, seed=12)
+    print(f"cloud: {cloud['x'].shape[0]:,} points")
+
+    t0 = time.perf_counter()
+    pyramid = build_pyramid(cloud["x"], cloud["y"])
+    print(
+        f"pyramid: {pyramid.n_levels} levels in "
+        f"{time.perf_counter() - t0:.2f}s; "
+        f"level sizes {pyramid.level_sizes}"
+    )
+
+    views = {
+        "overview": EXTENT,
+        "city": Box(85_400, 445_400, 86_200, 446_200),
+        "street": Box(85_700, 445_700, 85_900, 445_900),
+    }
+    for name, viewport in views.items():
+        t0 = time.perf_counter()
+        picked = pyramid.for_viewport(viewport, BUDGET)
+        frame = {
+            "x": cloud["x"][picked],
+            "y": cloud["y"][picked],
+            "z": cloud["z"][picked],
+            "classification": cloud["classification"][picked],
+        }
+        canvas = render_pointcloud(frame, extent=viewport, width=512)
+        path = canvas.write_ppm(out_dir / f"nav_{name}.ppm")
+        density = picked.shape[0] / max(viewport.area, 1e-9) * 1e6
+        print(
+            f"{name:>9s}: {picked.shape[0]:6d} points drawn "
+            f"({density:8.1f} pts/km^2 apparent), uniformity "
+            f"{uniformity(frame['x'], frame['y'], viewport) * 100:5.1f}%, "
+            f"frame {((time.perf_counter() - t0) * 1e3):6.1f} ms -> {path}"
+        )
+
+    print(
+        "\nsame budget, three zoom levels: the street view draws "
+        f"~{(views['overview'].area / views['street'].area):.0f}x denser "
+        "detail from the same pyramid."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Offline-friendly shim: `python setup.py develop` works without network
+# (PEP 517 editable installs need wheel, which minimal environments lack).
+setup(entry_points={"console_scripts": ["repro-gis=repro.cli:main"]})

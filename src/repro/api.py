@@ -1,0 +1,157 @@
+"""The public facade: a "spatially-enabled DBMS" in one object.
+
+:class:`PointCloudDB` wires the pieces of the paper's architecture
+together — flat tables (Section 3.1), the binary bulk loader (Section
+3.2), lazily built column imprints and the two-step spatial query model
+(Section 3.3), and the SQL layer for ad-hoc spatio-thematic queries
+(Section 4.2)::
+
+    from repro import PointCloudDB
+
+    db = PointCloudDB()
+    db.create_pointcloud("ahn2")
+    db.load_las("ahn2", las_paths)
+    result = db.spatial_select("ahn2", polygon)
+    rows = db.sql("SELECT avg(z) FROM ahn2 WHERE ...").rows
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from .core.imprints import ImprintsManager
+from .core.query import QueryResult, SpatialSelect
+from .engine.catalog import Database
+from .engine.table import Table
+from .las.binloader import LoadStats, create_flat_table, load_arrays, load_files
+from .sql.executor import Result, Session
+
+PathLike = Union[str, Path]
+
+
+class PointCloudDB:
+    """A column-store point-cloud database with GIS functionality.
+
+    Parameters
+    ----------
+    directory:
+        Optional persistence root (forwarded to the engine catalog).
+    """
+
+    def __init__(self, directory: Optional[PathLike] = None) -> None:
+        self.db = Database(directory=directory)
+        self.manager = ImprintsManager()
+        self._selects: Dict[str, SpatialSelect] = {}
+        self._vector_relations: Dict[str, Dict] = {}
+
+    # -- point clouds ------------------------------------------------------------
+
+    def create_pointcloud(self, name: str = "points") -> Table:
+        """Create a 26-column flat point-cloud table."""
+        table = create_flat_table(self.db, name)
+        self._selects[name] = SpatialSelect(table, manager=self.manager)
+        return table
+
+    def load_las(
+        self,
+        name: str,
+        paths: Iterable[PathLike],
+        spool_dir: Optional[PathLike] = None,
+    ) -> LoadStats:
+        """Bulk-load LAS/LAZ tiles via the binary loader."""
+        return load_files(self.db.table(name), paths, spool_dir=spool_dir)
+
+    def load_points(self, name: str, columns: Dict[str, np.ndarray]) -> LoadStats:
+        """Bulk-load an in-memory column batch (e.g. from the generator)."""
+        return load_arrays(self.db.table(name), columns)
+
+    def table(self, name: str) -> Table:
+        return self.db.table(name)
+
+    # -- spatial queries ------------------------------------------------------------
+
+    def spatial_select(
+        self,
+        name: str,
+        geometry,
+        predicate: str = "contains",
+        distance: float = 0.0,
+        **kwargs,
+    ) -> QueryResult:
+        """Two-step (imprints filter + grid refine) spatial selection."""
+        try:
+            select = self._selects[name]
+        except KeyError:
+            select = SpatialSelect(self.db.table(name), manager=self.manager)
+            self._selects[name] = select
+        return select.query(geometry, predicate, distance, **kwargs)
+
+    # -- SQL ---------------------------------------------------------------------------
+
+    def register_vector(self, name: str, columns: Dict[str, Sequence]) -> None:
+        """Register a vector relation (roads, zones...) for SQL queries.
+
+        Object columns (strings, geometries) are allowed; the relation is
+        snapshotted at registration.
+        """
+        self._vector_relations[name] = columns
+
+    def _session(self) -> Session:
+        """A session over the current tables and vector relations.
+
+        Assembled per call so appended points are always visible;
+        imprints persist across calls via the shared manager (they belong
+        to the columns, not the session).
+        """
+        session = Session(manager=self.manager)
+        for name in self.db.table_names:
+            session.register_table(self.db.table(name))
+        for name, columns in self._vector_relations.items():
+            session.register_columns(name, columns)
+        return session
+
+    def sql(self, query: str) -> Result:
+        """Run a SQL query over the point clouds and vector relations."""
+        return self._session().execute(query)
+
+    def explain(self, query: str) -> str:
+        """The query's plan as text (which indexes it would use)."""
+        return self._session().explain(query)
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def storage_report(self) -> Dict[str, Dict[str, int]]:
+        """Bytes per table plus imprint index bytes (the E2 accounting)."""
+        report: Dict[str, Dict[str, int]] = {}
+        for name in self.db.table_names:
+            table = self.db.table(name)
+            imprint_bytes = sum(
+                stats.index_bytes
+                for (tname, _col), stats in self.manager.stats().items()
+                if tname == name
+            )
+            report[name] = {
+                "rows": len(table),
+                "column_bytes": table.nbytes,
+                "imprint_bytes": imprint_bytes,
+            }
+        return report
+
+    def save(self, directory: Optional[PathLike] = None) -> int:
+        """Persist all tables (per-column binaries) and built imprints."""
+        total = self.db.save(directory)
+        root = Path(directory) if directory is not None else self.db.directory
+        total += self.manager.save(root / "_imprints")
+        return total
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "PointCloudDB":
+        """Restore a persisted database, imprints included."""
+        instance = cls(directory=directory)
+        instance.db = Database.load(directory)
+        tables = {name: instance.db.table(name) for name in instance.db.table_names}
+        instance.manager.load(tables, Path(directory) / "_imprints")
+        return instance

@@ -1,0 +1,20 @@
+"""The block-storage baseline (PostgreSQL pointcloud / Oracle SDO_PC style).
+
+* :mod:`repro.blockstore.patch` — compressed point blocks.
+* :mod:`repro.blockstore.rtree` — STR-packed R-tree over block bboxes.
+* :mod:`repro.blockstore.store` — load (sort/chunk/compress/index) and
+  query (filter/decompress/refine).
+"""
+
+from .patch import Patch, build_patch
+from .rtree import RTree
+from .store import BlockLoadStats, BlockQueryStats, BlockStore
+
+__all__ = [
+    "BlockLoadStats",
+    "BlockQueryStats",
+    "BlockStore",
+    "Patch",
+    "RTree",
+    "build_patch",
+]

@@ -1,0 +1,85 @@
+"""Point patches: the block unit of the PostgreSQL/Oracle storage model.
+
+Section 1: "Both systems base their performance on the physical
+reorganisation of data into blocks with each block being a condensed
+representation of multiple points."  A :class:`Patch` is one such block —
+a bounding box plus dimensionally compressed payloads (pointcloud's
+"dimensional compression": each attribute compressed on its own, the
+column idea smuggled inside a row store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..engine.compression import (
+    CompressedBlock,
+    delta_zlib_decode,
+    delta_zlib_encode,
+)
+from ..gis.envelope import Box
+
+
+@dataclass
+class Patch:
+    """One compressed block of points.
+
+    Attributes
+    ----------
+    patch_id:
+        Position in the store's patch list.
+    n_points:
+        Points encoded in the patch.
+    bbox:
+        The 2-D bounding box used by the block index.
+    payloads:
+        Attribute name -> compressed payload.
+    """
+
+    patch_id: int
+    n_points: int
+    bbox: Box
+    payloads: Dict[str, CompressedBlock]
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed payload bytes (excl. the bbox/dataclass overhead)."""
+        return sum(block.nbytes for block in self.payloads.values())
+
+    @property
+    def dimensions(self) -> List[str]:
+        return list(self.payloads.keys())
+
+    def decompress(self, dimensions=None) -> Dict[str, np.ndarray]:
+        """Materialise the requested dimensions (all by default)."""
+        names = dimensions if dimensions is not None else self.dimensions
+        out = {}
+        for name in names:
+            if name not in self.payloads:
+                raise KeyError(f"patch has no dimension {name!r}")
+            out[name] = delta_zlib_decode(self.payloads[name])
+        return out
+
+
+def build_patch(
+    patch_id: int, columns: Dict[str, np.ndarray], level: int = 6
+) -> Patch:
+    """Compress one chunk of points into a patch.
+
+    ``columns`` must contain ``x`` and ``y`` (for the bbox); every entry is
+    delta+deflate compressed independently.
+    """
+    xs = np.asarray(columns["x"], dtype=np.float64)
+    ys = np.asarray(columns["y"], dtype=np.float64)
+    n = xs.shape[0]
+    if n == 0:
+        raise ValueError("cannot build an empty patch")
+    bbox = Box(float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max()))
+    payloads = {
+        name: delta_zlib_encode(np.asarray(arr), level=level)
+        for name, arr in columns.items()
+    }
+    return Patch(patch_id=patch_id, n_points=n, bbox=bbox, payloads=payloads)

@@ -1,0 +1,364 @@
+"""Command-line interface: the demo's console.
+
+The VLDB demo drove everything through QGIS; a downstream user of this
+library gets a CLI instead::
+
+    repro-gis generate --points 100000 --out tiles/        # synthetic AHN2
+    repro-gis info tiles/                                   # header summary
+    repro-gis load tiles/ --db farm/                        # binary loader
+    repro-gis query farm/ --wkt 'POLYGON ((...))'           # spatial select
+    repro-gis sql farm/ 'SELECT count(*) FROM points'       # ad-hoc SQL
+    repro-gis sort tile.las sorted.las --curve hilbert      # lassort
+    repro-gis index tiles/                                  # lasindex
+    repro-gis render tiles/ out.ppm                         # figure 1 style
+
+Every subcommand is a thin shell over the library; the functions return
+exit codes and print plain text, so they stay unit-testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .datasets.lidar import generate_points, make_scene, write_cloud_tiles
+    from .gis.envelope import Box
+
+    extent = Box(*args.extent)
+    scene = make_scene(extent, seed=args.seed)
+    cloud = generate_points(scene, args.points, seed=args.seed)
+    paths = write_cloud_tiles(
+        args.out, cloud, extent, args.tiles, args.tiles, compressed=args.laz
+    )
+    print(f"wrote {len(paths)} tiles ({args.points} points) to {args.out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .las.reader import read_header
+
+    directory = Path(args.tiles)
+    paths = sorted(
+        p for p in directory.iterdir() if p.suffix.lower() in (".las", ".laz")
+    )
+    if not paths:
+        print(f"no LAS/LAZ files under {directory}", file=sys.stderr)
+        return 1
+    total = 0
+    min_x = min_y = float("inf")
+    max_x = max_y = float("-inf")
+    for path in paths:
+        header = read_header(path)
+        total += header.n_points
+        min_x = min(min_x, header.min_xyz[0])
+        min_y = min(min_y, header.min_xyz[1])
+        max_x = max(max_x, header.max_xyz[0])
+        max_y = max(max_y, header.max_xyz[1])
+        print(
+            f"{path.name}: fmt={header.point_format} n={header.n_points} "
+            f"bbox=({header.min_xyz[0]:.2f}, {header.min_xyz[1]:.2f}) - "
+            f"({header.max_xyz[0]:.2f}, {header.max_xyz[1]:.2f})"
+        )
+    print(f"total: {len(paths)} files, {total} points")
+    if args.wgs84:
+        from .gis.crs import rd_to_wgs84
+
+        lat_lo, lon_lo = rd_to_wgs84(min_x, min_y)
+        lat_hi, lon_hi = rd_to_wgs84(max_x, max_y)
+        print(
+            f"WGS84 bounds (coords read as RD New): "
+            f"({float(lat_lo):.5f}, {float(lon_lo):.5f}) - "
+            f"({float(lat_hi):.5f}, {float(lon_hi):.5f})"
+        )
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .api import PointCloudDB
+
+    directory = Path(args.tiles)
+    paths = sorted(
+        p for p in directory.iterdir() if p.suffix.lower() in (".las", ".laz")
+    )
+    if not paths:
+        print(f"no LAS/LAZ files under {directory}", file=sys.stderr)
+        return 1
+    db = PointCloudDB(directory=args.db)
+    db.create_pointcloud(args.table)
+    stats = db.load_las(args.table, paths)
+    db.save()
+    print(
+        f"loaded {stats.n_points} points from {stats.n_files} files in "
+        f"{stats.seconds:.3f}s ({stats.points_per_second:,.0f} pts/s); "
+        f"database saved to {args.db}"
+    )
+    return 0
+
+
+def _open_db(db_dir: str):
+    from .api import PointCloudDB
+
+    return PointCloudDB.load(db_dir)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .gis.wkt import loads
+
+    db = _open_db(args.db)
+    geometry = loads(args.wkt)
+    start = time.perf_counter()
+    result = db.spatial_select(
+        args.table, geometry, predicate=args.predicate, distance=args.distance
+    )
+    elapsed = time.perf_counter() - start
+    print(f"{len(result)} points in {elapsed * 1e3:.2f} ms")
+    stats = result.stats
+    print(
+        f"filter: {stats.n_filter_candidates} candidates "
+        f"({stats.filter_selectivity * 100:.2f}% of {stats.n_rows} rows); "
+        f"refine: {stats.refine_stats.boundary_cells} boundary cells"
+    )
+    if args.show:
+        table = db.table(args.table)
+        for oid in result.oids[: args.show]:
+            x, y, z = (
+                table.column("x").values[oid],
+                table.column("y").values[oid],
+                table.column("z").values[oid],
+            )
+            print(f"  ({x:.2f}, {y:.2f}, {z:.2f})")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    db = _open_db(args.db)
+    if args.explain:
+        print(db.explain(args.query))
+        return 0
+    start = time.perf_counter()
+    result = db.sql(args.query)
+    elapsed = time.perf_counter() - start
+    print("  ".join(result.columns))
+    for row in result.rows[: args.limit]:
+        print("  ".join(str(v) for v in row))
+    if len(result.rows) > args.limit:
+        print(f"... {len(result.rows) - args.limit} more rows")
+    print(f"({len(result.rows)} rows in {elapsed * 1e3:.2f} ms)")
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from .lastools.lassort import lassort
+
+    n = lassort(args.input, args.output, curve=args.curve)
+    print(f"rewrote {n} points in {args.curve} order to {args.output}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .lastools.clip import LasClip
+
+    clip = LasClip(args.tiles, use_index=True)
+    count = clip.build_indexes(leaf_capacity=args.leaf_capacity)
+    print(f"indexed {count} files (.lax sidecars written)")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .las.binloader import read_point_file
+    from .viz.render import render_pointcloud
+
+    directory = Path(args.tiles)
+    paths = sorted(
+        p for p in directory.iterdir() if p.suffix.lower() in (".las", ".laz")
+    )
+    if not paths:
+        print(f"no LAS/LAZ files under {directory}", file=sys.stderr)
+        return 1
+    pieces = {"x": [], "y": [], "z": [], "classification": []}
+    for path in paths:
+        _header, cols = read_point_file(path)
+        for key in pieces:
+            pieces[key].append(cols[key])
+    columns = {key: np.concatenate(parts) for key, parts in pieces.items()}
+    canvas = render_pointcloud(columns, width=args.width)
+    canvas.write_ppm(args.output)
+    print(f"rendered {columns['x'].shape[0]} points to {args.output}")
+    return 0
+
+
+def _cmd_elevation(args: argparse.Namespace) -> int:
+    from .core.rasterize import chm, dsm, dtm, hillshade
+    from .gis.envelope import Box
+    from .las.binloader import read_point_file
+    from .viz.raster import Canvas
+
+    directory = Path(args.tiles)
+    paths = sorted(
+        p for p in directory.iterdir() if p.suffix.lower() in (".las", ".laz")
+    )
+    if not paths:
+        print(f"no LAS/LAZ files under {directory}", file=sys.stderr)
+        return 1
+    pieces = {"x": [], "y": [], "z": [], "classification": []}
+    for path in paths:
+        _header, cols = read_point_file(path)
+        for key in pieces:
+            pieces[key].append(cols[key])
+    columns = {key: np.concatenate(parts) for key, parts in pieces.items()}
+    extent = Box(
+        columns["x"].min(),
+        columns["y"].min(),
+        columns["x"].max(),
+        columns["y"].max(),
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    grids = {
+        "dsm": dsm(columns["x"], columns["y"], columns["z"], extent, args.cell),
+        "dtm": dtm(
+            columns["x"],
+            columns["y"],
+            columns["z"],
+            columns["classification"],
+            extent,
+            args.cell,
+        ),
+        "chm": chm(
+            columns["x"],
+            columns["y"],
+            columns["z"],
+            columns["classification"],
+            extent,
+            args.cell,
+        ),
+    }
+    for name, grid in grids.items():
+        values = grid.values
+        finite = np.isfinite(values)
+        lo = values[finite].min() if finite.any() else 0.0
+        hi = values[finite].max() if finite.any() else 1.0
+        gray = np.zeros(values.shape, dtype=np.uint8)
+        gray[finite] = (
+            (values[finite] - lo) / max(hi - lo, 1e-9) * 255
+        ).astype(np.uint8)
+        path = out_dir / f"{name}.pgm"
+        with open(path, "wb") as fh:
+            fh.write(f"P5\n{gray.shape[1]} {gray.shape[0]}\n255\n".encode())
+            fh.write(gray[::-1].tobytes())
+        print(f"{name}: {path} ({gray.shape[1]}x{gray.shape[0]}, {lo:.1f}..{hi:.1f} m)")
+
+    shade = hillshade(grids["dsm"])
+    canvas = Canvas(extent, width=shade.shape[1], height=shade.shape[0])
+    canvas.pixels[:] = (shade[::-1, :, None] * 255).astype(np.uint8)
+    canvas.write_ppm(out_dir / "hillshade.ppm")
+    print(f"hillshade: {out_dir / 'hillshade.ppm'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument grammar (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gis",
+        description="GIS navigation boosted by column stores (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesise an AHN2-like tile set")
+    p.add_argument("--points", type=int, default=100_000)
+    p.add_argument("--tiles", type=int, default=4, help="tiles per axis")
+    p.add_argument(
+        "--extent",
+        type=float,
+        nargs=4,
+        default=[85_000, 445_000, 87_000, 447_000],
+        metavar=("XMIN", "YMIN", "XMAX", "YMAX"),
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--laz", action="store_true", help="write compressed tiles")
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("info", help="summarise a tile directory")
+    p.add_argument("tiles")
+    p.add_argument(
+        "--wgs84",
+        action="store_true",
+        help="also print the WGS84 bounds (input read as RD New / EPSG:28992)",
+    )
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("load", help="bulk-load tiles into a database")
+    p.add_argument("tiles")
+    p.add_argument("--db", required=True, help="database directory")
+    p.add_argument("--table", default="points")
+    p.set_defaults(fn=_cmd_load)
+
+    p = sub.add_parser("query", help="spatial selection on a saved database")
+    p.add_argument("db")
+    p.add_argument("--table", default="points")
+    p.add_argument("--wkt", required=True)
+    p.add_argument(
+        "--predicate", default="contains", choices=["contains", "dwithin"]
+    )
+    p.add_argument("--distance", type=float, default=0.0)
+    p.add_argument("--show", type=int, default=0, help="print first N hits")
+    p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser("sql", help="run SQL on a saved database")
+    p.add_argument("db")
+    p.add_argument("query")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument(
+        "--explain", action="store_true", help="print the plan, do not run"
+    )
+    p.set_defaults(fn=_cmd_sql)
+
+    p = sub.add_parser("sort", help="lassort: rewrite a LAS file in SFC order")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--curve", default="morton", choices=["morton", "hilbert"])
+    p.set_defaults(fn=_cmd_sort)
+
+    p = sub.add_parser("index", help="lasindex: build .lax quadtrees")
+    p.add_argument("tiles")
+    p.add_argument("--leaf-capacity", type=int, default=1000)
+    p.set_defaults(fn=_cmd_index)
+
+    p = sub.add_parser("render", help="render tiles to a PPM image")
+    p.add_argument("tiles")
+    p.add_argument("output")
+    p.add_argument("--width", type=int, default=512)
+    p.set_defaults(fn=_cmd_render)
+
+    p = sub.add_parser(
+        "elevation", help="derive DSM/DTM/CHM + hillshade from tiles"
+    )
+    p.add_argument("tiles")
+    p.add_argument("--out", required=True, help="output directory")
+    p.add_argument("--cell", type=float, default=5.0, help="cell size (m)")
+    p.set_defaults(fn=_cmd_elevation)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ValueError, IOError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

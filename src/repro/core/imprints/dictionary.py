@@ -1,0 +1,154 @@
+"""Cacheline-dictionary compression of imprint vector sequences.
+
+Consecutive cache lines frequently produce identical imprint vectors
+(data "often exhibits local clustering or partial ordering as a side effect
+of the construction process", Section 2.1.1).  The imprint therefore does
+not store one vector per cacheline; it stores a *cacheline dictionary* of
+``(counter, repeat)`` entries over a deduplicated vector list:
+
+* ``repeat = 1``: the next stored vector stands for ``counter`` consecutive
+  cache lines.
+* ``repeat = 0``: the next ``counter`` stored vectors stand for one cache
+  line each.
+
+Counters are bounded (24 bits in MonetDB); longer runs split into several
+entries.  Compression is lossless — :func:`decompress` restores the exact
+per-cacheline sequence — and CPU-friendly: queries scan entries linearly
+and test each stored vector once regardless of how many cache lines it
+covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: MonetDB packs the counter into 24 bits of a 32-bit dictionary entry.
+MAX_COUNTER = (1 << 24) - 1
+
+
+@dataclass(frozen=True)
+class CachelineDict:
+    """Compressed imprint vector sequence.
+
+    Attributes
+    ----------
+    counters:
+        Entry counters (int64; values in [1, MAX_COUNTER]).
+    repeats:
+        Entry repeat flags, aligned with ``counters``.
+    vectors:
+        Deduplicated imprint vectors: one per repeat entry, ``counter``
+        per non-repeat entry, in entry order.
+    n_lines:
+        Total cache lines represented.
+    """
+
+    counters: np.ndarray
+    repeats: np.ndarray
+    vectors: np.ndarray
+    n_lines: int
+
+    @property
+    def n_entries(self) -> int:
+        return self.counters.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint: 4 bytes per entry (24-bit counter + flag,
+        padded to a word as in MonetDB) plus 8 bytes per stored vector."""
+        return 4 * self.n_entries + 8 * self.vectors.shape[0]
+
+    def coverage(self) -> np.ndarray:
+        """Cache lines covered by each *stored vector*, in vector order.
+
+        Repeat entries contribute one vector covering ``counter`` lines;
+        non-repeat entries contribute ``counter`` vectors covering one line
+        each.  ``np.repeat(per_vector_flags, coverage())`` therefore expands
+        any per-vector computation to per-cacheline granularity.
+        """
+        reps = self.repeats
+        cnts = self.counters
+        sizes = np.where(reps, 1, cnts)  # stored vectors per entry
+        per_vector = np.ones(int(sizes.sum()), dtype=np.int64)
+        # First vector of each repeat entry covers `counter` lines.
+        starts = np.cumsum(sizes) - sizes
+        per_vector[starts[reps]] = cnts[reps]
+        return per_vector
+
+
+def compress(vectors: np.ndarray, max_counter: int = MAX_COUNTER) -> CachelineDict:
+    """Build the cacheline dictionary from a raw per-cacheline sequence."""
+    vectors = np.asarray(vectors, dtype=np.uint64)
+    n = vectors.shape[0]
+    if max_counter < 1:
+        raise ValueError("max_counter must be >= 1")
+    if n == 0:
+        empty64 = np.empty(0, dtype=np.int64)
+        return CachelineDict(
+            counters=empty64,
+            repeats=np.empty(0, dtype=bool),
+            vectors=vectors,
+            n_lines=0,
+        )
+
+    # Run-length encode the vector sequence.
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    change[1:] = vectors[1:] != vectors[:-1]
+    run_starts = np.flatnonzero(change)
+    run_lengths = np.diff(np.append(run_starts, n))
+    run_vectors = vectors[run_starts]
+
+    counters = []
+    repeats = []
+    stored = []
+    pending_singles = []  # consecutive runs of length 1 coalesce
+
+    def flush_singles() -> None:
+        while pending_singles:
+            chunk = pending_singles[: max_counter]
+            del pending_singles[: len(chunk)]
+            counters.append(len(chunk))
+            repeats.append(False)
+            stored.extend(chunk)
+
+    for vec, length in zip(run_vectors, run_lengths):
+        if length == 1:
+            pending_singles.append(vec)
+            continue
+        flush_singles()
+        remaining = int(length)
+        while remaining > 0:
+            take = min(remaining, max_counter)
+            if take == 1:
+                # A leftover single line after counter-capped splits.
+                pending_singles.append(vec)
+                remaining -= 1
+                continue
+            counters.append(take)
+            repeats.append(True)
+            stored.append(vec)
+            remaining -= take
+    flush_singles()
+
+    return CachelineDict(
+        counters=np.asarray(counters, dtype=np.int64),
+        repeats=np.asarray(repeats, dtype=bool),
+        vectors=np.asarray(stored, dtype=np.uint64),
+        n_lines=n,
+    )
+
+
+def decompress(cdict: CachelineDict) -> np.ndarray:
+    """Restore the exact per-cacheline imprint vector sequence."""
+    if cdict.n_lines == 0:
+        return np.empty(0, dtype=np.uint64)
+    return np.repeat(cdict.vectors, cdict.coverage())
+
+
+def compression_ratio(cdict: CachelineDict) -> float:
+    """Uncompressed vector bytes / dictionary bytes (higher is better)."""
+    raw = 8 * cdict.n_lines
+    return raw / cdict.nbytes if cdict.nbytes else float("inf")

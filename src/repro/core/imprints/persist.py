@@ -1,0 +1,133 @@
+"""Imprint persistence: save/restore built indexes with their table.
+
+MonetDB persists imprints next to the BAT files so a restarted server
+does not pay the (cheap, but not free) rebuild on first query.  The
+format here mirrors the column files: a small header plus the raw arrays
+of the bin scheme and the cacheline dictionary.
+
+Format (``.imprint``)::
+
+    magic    4 bytes  b"RIMP"
+    version  u16
+    vpc      u16      values per cacheline
+    n_rows   u64      indexed snapshot length
+    n_lines  u64
+    4 framed arrays (dtype tag + length + raw bytes, as engine.storage):
+      borders (f8), counters (i8), repeats (bool), vectors (u8 as u64)
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ...engine.column import Column
+from .dictionary import CachelineDict
+from .histogram import BinScheme
+from .index import ColumnImprints
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"RIMP"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHQQ")
+
+
+class ImprintPersistError(IOError):
+    """Raised on corrupt or mismatched imprint files."""
+
+
+def _frame(arr: np.ndarray) -> bytes:
+    raw = np.ascontiguousarray(arr).tobytes()
+    tag = arr.dtype.str.encode()
+    return (
+        len(tag).to_bytes(2, "little")
+        + tag
+        + len(raw).to_bytes(8, "little")
+        + raw
+    )
+
+
+def _unframe(raw: bytes, pos: int):
+    tag_len = int.from_bytes(raw[pos : pos + 2], "little")
+    pos += 2
+    dtype = np.dtype(raw[pos : pos + tag_len].decode())
+    pos += tag_len
+    n = int.from_bytes(raw[pos : pos + 8], "little")
+    pos += 8
+    data = raw[pos : pos + n]
+    if len(data) != n:
+        raise ImprintPersistError("truncated imprint array")
+    return np.frombuffer(data, dtype=dtype), pos + n
+
+
+def save_imprint(imprint: ColumnImprints, path: PathLike) -> int:
+    """Persist a built imprint; returns bytes written."""
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, imprint.vpc, imprint.n_rows, imprint.n_lines
+    )
+    payload = b"".join(
+        [
+            _frame(np.asarray(imprint.scheme.borders, dtype=np.float64)),
+            _frame(imprint.cdict.counters),
+            _frame(imprint.cdict.repeats),
+            _frame(imprint.cdict.vectors),
+        ]
+    )
+    path = Path(path)
+    path.write_bytes(header + payload)
+    return len(header) + len(payload)
+
+
+def load_imprint(column: Column, path: PathLike) -> ColumnImprints:
+    """Restore an imprint over its column.
+
+    The stored snapshot length must not exceed the column; a longer column
+    simply leaves the imprint ``stale`` (the manager will rebuild), but a
+    *shorter* column means the file belongs to different data and is
+    rejected.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise ImprintPersistError(f"no imprint file at {path}") from None
+    if len(raw) < _HEADER.size:
+        raise ImprintPersistError(f"{path}: truncated header")
+    magic, version, vpc, n_rows, n_lines = _HEADER.unpack(raw[: _HEADER.size])
+    if magic != _MAGIC:
+        raise ImprintPersistError(f"{path}: bad magic {magic!r}")
+    if version != _VERSION:
+        raise ImprintPersistError(f"{path}: unsupported version {version}")
+    if n_rows > len(column):
+        raise ImprintPersistError(
+            f"{path}: imprint indexes {n_rows} rows but column "
+            f"{column.name!r} holds only {len(column)}"
+        )
+
+    pos = _HEADER.size
+    borders, pos = _unframe(raw, pos)
+    counters, pos = _unframe(raw, pos)
+    repeats, pos = _unframe(raw, pos)
+    vectors, pos = _unframe(raw, pos)
+
+    imprint = ColumnImprints.__new__(ColumnImprints)
+    imprint.column = column
+    imprint.vpc = int(vpc)
+    imprint.n_rows = int(n_rows)
+    imprint.scheme = BinScheme(borders=borders.astype(np.float64))
+    imprint.cdict = CachelineDict(
+        counters=counters.astype(np.int64),
+        repeats=repeats.astype(bool),
+        vectors=vectors.astype(np.uint64),
+        n_lines=int(n_lines),
+    )
+    imprint._coverage = imprint.cdict.coverage()
+    if int(imprint._coverage.sum() if imprint._coverage.shape[0] else 0) != int(
+        n_lines
+    ):
+        raise ImprintPersistError(f"{path}: dictionary does not cover {n_lines} lines")
+    return imprint

@@ -1,0 +1,233 @@
+"""The two-step spatial query pipeline: imprint filter -> grid refinement.
+
+This is the paper's query model (Section 3.3) end to end:
+
+1. **Filter** — the query geometry's envelope gives one range per axis;
+   the column imprints on X and Y return candidate rows ("the majority of
+   points that do not satisfy the spatial predicate ... are identified and
+   disregarded using a fast approximation").
+2. **Refine** — the surviving candidates go through the regular grid +
+   cell classification of :mod:`repro.core.refine`; only boundary-cell
+   points are tested exactly.
+
+:class:`SpatialSelect` binds the pipeline to one flat table and exposes
+``query(geometry, predicate, distance)``.  Every stage can be toggled for
+the ablation benches (pure scan, no grid, ...).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..engine.select import intersect_candidates, mask_select, range_select
+from ..engine.table import Table
+from ..gis.envelope import Box
+from ..gis.predicates import geometry_envelope, points_satisfy
+from .grid import DEFAULT_TARGET_CELLS
+from .imprints.manager import ImprintsManager
+from .refine import RefineStats, refine, refine_exhaustive
+
+
+@dataclass
+class QueryStats:
+    """Phase timings and cardinalities for one spatial query."""
+
+    filter_seconds: float = 0.0
+    refine_seconds: float = 0.0
+    n_rows: int = 0
+    n_filter_candidates: int = 0
+    n_results: int = 0
+    used_imprints: bool = True
+    refine_stats: RefineStats = field(default_factory=RefineStats)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.filter_seconds + self.refine_seconds
+
+    @property
+    def filter_selectivity(self) -> float:
+        """Candidates / table rows (how much the filter step discards)."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.n_filter_candidates / self.n_rows
+
+
+@dataclass
+class QueryResult:
+    """Row ids satisfying the predicate, plus execution statistics."""
+
+    oids: np.ndarray
+    stats: QueryStats
+
+    def __len__(self) -> int:
+        return int(self.oids.shape[0])
+
+
+class SpatialSelect:
+    """Spatial selection over a flat point-cloud table.
+
+    Parameters
+    ----------
+    table:
+        The flat table (one row per point).
+    x_column, y_column:
+        Names of the coordinate columns.
+    manager:
+        Shared :class:`ImprintsManager`; a private one is created when
+        omitted.  Sharing a manager across query objects mirrors MonetDB,
+        where imprints belong to the column, not to the query.
+    target_cells:
+        Refinement grid budget.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        x_column: str = "x",
+        y_column: str = "y",
+        manager: Optional[ImprintsManager] = None,
+        target_cells: int = DEFAULT_TARGET_CELLS,
+    ) -> None:
+        self.table = table
+        self.x_column = x_column
+        self.y_column = y_column
+        self.manager = manager if manager is not None else ImprintsManager()
+        self.target_cells = target_cells
+
+    # -- the two steps ---------------------------------------------------------
+
+    def _filter(self, env: Box, use_imprints: bool) -> np.ndarray:
+        """Candidate rows whose (x, y) lies in the query envelope.
+
+        MonetDB-style cascade: the first select probes the column imprint,
+        the second consumes the survivor candidate list and scans only
+        those rows.  The imprint goes to the axis where the query covers
+        the smaller fraction of the column's domain (most selective probe
+        first).
+        """
+        x_col = self.table.column(self.x_column)
+        y_col = self.table.column(self.y_column)
+        x_lo, x_hi = x_col.minmax()
+        y_lo, y_hi = y_col.minmax()
+        x_fraction = (env.xmax - env.xmin) / max(float(x_hi) - float(x_lo), 1e-300)
+        y_fraction = (env.ymax - env.ymin) / max(float(y_hi) - float(y_lo), 1e-300)
+        if x_fraction <= y_fraction:
+            first_name, first_lo, first_hi = self.x_column, env.xmin, env.xmax
+            second_col, second_lo, second_hi = y_col, env.ymin, env.ymax
+        else:
+            first_name, first_lo, first_hi = self.y_column, env.ymin, env.ymax
+            second_col, second_lo, second_hi = x_col, env.xmin, env.xmax
+
+        if use_imprints:
+            first = self.manager.range_select(
+                self.table, first_name, first_lo, first_hi
+            )
+        else:
+            first = range_select(self.table.column(first_name), first_lo, first_hi)
+        return range_select(second_col, second_lo, second_hi, candidates=first)
+
+    def query(
+        self,
+        geometry,
+        predicate: str = "contains",
+        distance: float = 0.0,
+        use_imprints: bool = True,
+        use_grid: bool = True,
+        z_column: Optional[str] = None,
+        z_range: Optional[tuple] = None,
+    ) -> QueryResult:
+        """Rows whose point satisfies ``predicate`` against ``geometry``.
+
+        ``geometry`` may be any :mod:`repro.gis` geometry or a raw
+        :class:`~repro.gis.envelope.Box`.  ``predicate`` is ``contains`` /
+        ``intersects`` (synonyms for points) or ``dwithin`` with
+        ``distance``.
+
+        ``z_range=(zmin, zmax)`` (with ``z_column``, default ``"z"``)
+        turns the selection into the 3-D box/prism query the paper's
+        conclusions motivate ("enable 3D operations and analyses"): the
+        elevation slab is filtered through the z column's imprint and
+        intersected with the 2-D candidates before refinement.
+        """
+        if len(self.table) == 0:
+            return QueryResult(
+                oids=np.empty(0, dtype=np.int64),
+                stats=QueryStats(n_rows=0, used_imprints=use_imprints),
+            )
+        env = geometry_envelope(geometry)
+        if predicate == "dwithin":
+            env = env.expand(distance)
+
+        t0 = time.perf_counter()
+        candidates = self._filter(env, use_imprints)
+        if z_range is not None:
+            zmin, zmax = z_range
+            column_name = z_column if z_column is not None else "z"
+            if use_imprints:
+                z_cands = self.manager.range_select(
+                    self.table, column_name, zmin, zmax
+                )
+                candidates = intersect_candidates(candidates, z_cands)
+            else:
+                candidates = range_select(
+                    self.table.column(column_name),
+                    zmin,
+                    zmax,
+                    candidates=candidates,
+                )
+        t1 = time.perf_counter()
+
+        stats = QueryStats(
+            filter_seconds=t1 - t0,
+            n_rows=len(self.table),
+            n_filter_candidates=int(candidates.shape[0]),
+            used_imprints=use_imprints,
+        )
+
+        # A box query with a containment predicate *is* its own envelope
+        # test: the filter step is already exact, skip refinement.
+        if isinstance(geometry, Box) and predicate in (
+            "contains",
+            "intersects",
+            "within",
+        ):
+            stats.n_results = int(candidates.shape[0])
+            return QueryResult(oids=candidates, stats=stats)
+
+        xs = self.table.column(self.x_column).take(candidates)
+        ys = self.table.column(self.y_column).take(candidates)
+        if use_grid:
+            mask, refine_stats = refine(
+                xs,
+                ys,
+                geometry,
+                predicate,
+                distance,
+                target_cells=self.target_cells,
+            )
+        else:
+            mask, refine_stats = refine_exhaustive(
+                xs, ys, geometry, predicate, distance
+            )
+        t2 = time.perf_counter()
+
+        stats.refine_seconds = t2 - t1
+        stats.refine_stats = refine_stats
+        oids = mask_select(mask, candidates)
+        stats.n_results = int(oids.shape[0])
+        return QueryResult(oids=oids, stats=stats)
+
+    # -- reference path ----------------------------------------------------------
+
+    def query_scan(
+        self, geometry, predicate: str = "contains", distance: float = 0.0
+    ) -> np.ndarray:
+        """Brute-force evaluation over every row (correctness oracle)."""
+        xs = np.asarray(self.table.column(self.x_column).values)
+        ys = np.asarray(self.table.column(self.y_column).values)
+        mask = points_satisfy(xs, ys, geometry, predicate, distance)
+        return np.flatnonzero(mask).astype(np.int64)

@@ -1,0 +1,38 @@
+"""Synthetic stand-ins for the demo's three datasets.
+
+* :mod:`repro.datasets.lidar` — AHN2-like airborne LIDAR (640 G points in
+  the paper; parameterised down to laptop scale here).
+* :mod:`repro.datasets.osm` — OpenStreetMap-like roads/rivers/POIs.
+* :mod:`repro.datasets.urbanatlas` — Urban Atlas-like land-use zones.
+* :mod:`repro.datasets.terrain` — the shared fractal heightfield.
+"""
+
+from .lidar import LidarScene, generate_points, generate_tiles, make_scene, write_tile_files
+from .osm import POI_KINDS, ROAD_CLASSES, OsmData, generate_osm
+from .terrain import Terrain, generate_terrain
+from .urbanatlas import (
+    FAST_TRANSIT,
+    UA_CODES,
+    LandUseZone,
+    UrbanAtlasData,
+    generate_urban_atlas,
+)
+
+__all__ = [
+    "FAST_TRANSIT",
+    "LandUseZone",
+    "LidarScene",
+    "OsmData",
+    "POI_KINDS",
+    "ROAD_CLASSES",
+    "Terrain",
+    "UA_CODES",
+    "UrbanAtlasData",
+    "generate_osm",
+    "generate_points",
+    "generate_terrain",
+    "generate_tiles",
+    "generate_urban_atlas",
+    "make_scene",
+    "write_tile_files",
+]

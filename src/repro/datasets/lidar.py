@@ -1,0 +1,423 @@
+"""Synthetic AHN2-like airborne LIDAR.
+
+The real AHN2 has 6-10 points/m² over the whole Netherlands — 640 billion
+points in 60,185 LAZ tiles (Section 4).  This generator reproduces the
+*statistical shape* of such data at laptop scale:
+
+* airborne scan geometry — parallel flightlines, serpentine GPS time,
+  oscillating scan angle, multi-return vegetation pulses;
+* terrain-following elevations from :mod:`repro.datasets.terrain`, with
+  buildings (extruded rectangles), vegetation (clustered canopies) and
+  water (class 9, low intensity);
+* the full 26-attribute flat schema, so every column of the paper's flat
+  table carries realistic values;
+* tiling into many small files mirroring the AHN2 distribution layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..gis.envelope import Box
+from .terrain import Terrain, generate_terrain
+
+PathLike = Union[str, Path]
+
+#: ASPRS class codes used by the generator.
+CLASS_GROUND = 2
+CLASS_LOW_VEG = 3
+CLASS_MED_VEG = 4
+CLASS_HIGH_VEG = 5
+CLASS_BUILDING = 6
+CLASS_WATER = 9
+
+#: Intensity distribution per class: (mean, std) of a clipped normal.
+_CLASS_INTENSITY = {
+    CLASS_GROUND: (900.0, 200.0),
+    CLASS_LOW_VEG: (600.0, 150.0),
+    CLASS_MED_VEG: (500.0, 150.0),
+    CLASS_HIGH_VEG: (400.0, 120.0),
+    CLASS_BUILDING: (1400.0, 300.0),
+    CLASS_WATER: (120.0, 60.0),
+}
+
+#: Colour palette per class (16-bit RGB), loosely aerial-photo-like.
+_CLASS_RGB = {
+    CLASS_GROUND: (32000, 28000, 20000),
+    CLASS_LOW_VEG: (18000, 36000, 14000),
+    CLASS_MED_VEG: (14000, 32000, 12000),
+    CLASS_HIGH_VEG: (10000, 28000, 10000),
+    CLASS_BUILDING: (38000, 30000, 28000),
+    CLASS_WATER: (10000, 16000, 34000),
+}
+
+
+@dataclass
+class Building:
+    """An extruded rectangular building footprint."""
+
+    box: Box
+    height: float
+
+
+@dataclass
+class LidarScene:
+    """The synthetic world a point cloud is sampled from."""
+
+    extent: Box
+    terrain: Terrain
+    buildings: List[Building] = field(default_factory=list)
+    canopy_centers: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2))
+    )
+    canopy_radii: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+
+def make_scene(
+    extent: Box,
+    n_buildings: int = 40,
+    n_canopies: int = 120,
+    seed: int = 0,
+    terrain_order: int = 6,
+) -> LidarScene:
+    """Lay out terrain, buildings and vegetation for a region."""
+    rng = np.random.default_rng(seed)
+    terrain = generate_terrain(extent, order=terrain_order, seed=seed)
+    buildings: List[Building] = []
+    for _ in range(n_buildings):
+        w = rng.uniform(0.01, 0.04) * extent.width
+        h = rng.uniform(0.01, 0.04) * extent.height
+        x0 = rng.uniform(extent.xmin, extent.xmax - w)
+        y0 = rng.uniform(extent.ymin, extent.ymax - h)
+        # Skip buildings that would stand in open water.
+        cx, cy = x0 + w / 2, y0 + h / 2
+        if terrain.is_water(np.array([cx]), np.array([cy]))[0]:
+            continue
+        buildings.append(
+            Building(Box(x0, y0, x0 + w, y0 + h), height=rng.uniform(3.0, 30.0))
+        )
+    centers = np.column_stack(
+        [
+            rng.uniform(extent.xmin, extent.xmax, n_canopies),
+            rng.uniform(extent.ymin, extent.ymax, n_canopies),
+        ]
+    )
+    radii = rng.uniform(0.004, 0.02, n_canopies) * extent.width
+    return LidarScene(
+        extent=extent,
+        terrain=terrain,
+        buildings=buildings,
+        canopy_centers=centers,
+        canopy_radii=radii,
+    )
+
+
+def _classify(scene: LidarScene, xs: np.ndarray, ys: np.ndarray, rng) -> np.ndarray:
+    """Assign an ASPRS class per point from the scene layout."""
+    cls = np.full(xs.shape[0], CLASS_GROUND, dtype=np.uint8)
+    water = scene.terrain.is_water(xs, ys)
+    cls[water] = CLASS_WATER
+    # Vegetation canopies (only on land).
+    if scene.canopy_centers.shape[0]:
+        for (cx, cy), r in zip(scene.canopy_centers, scene.canopy_radii):
+            inside = (xs - cx) ** 2 + (ys - cy) ** 2 <= r * r
+            inside &= ~water
+            if inside.any():
+                veg = rng.choice(
+                    np.array(
+                        [CLASS_LOW_VEG, CLASS_MED_VEG, CLASS_HIGH_VEG],
+                        dtype=np.uint8,
+                    ),
+                    size=int(inside.sum()),
+                    p=[0.3, 0.3, 0.4],
+                )
+                cls[inside] = veg
+    # Buildings override vegetation.
+    for building in scene.buildings:
+        b = building.box
+        inside = (xs >= b.xmin) & (xs <= b.xmax) & (ys >= b.ymin) & (ys <= b.ymax)
+        cls[inside] = CLASS_BUILDING
+    return cls
+
+
+def _elevation(
+    scene: LidarScene, xs, ys, cls, rng
+) -> np.ndarray:
+    """Terrain-following z with class-dependent offsets."""
+    z = scene.terrain.height_at(xs, ys) + rng.normal(0, 0.05, xs.shape[0])
+    z[cls == CLASS_WATER] = rng.normal(0.0, 0.03, int((cls == CLASS_WATER).sum()))
+    veg = np.isin(cls, [CLASS_LOW_VEG, CLASS_MED_VEG, CLASS_HIGH_VEG])
+    z[veg] += np.where(
+        cls[veg] == CLASS_LOW_VEG,
+        rng.uniform(0.2, 1.0, int(veg.sum())),
+        np.where(
+            cls[veg] == CLASS_MED_VEG,
+            rng.uniform(1.0, 4.0, int(veg.sum())),
+            rng.uniform(4.0, 20.0, int(veg.sum())),
+        ),
+    )
+    for building in scene.buildings:
+        b = building.box
+        inside = (xs >= b.xmin) & (xs <= b.xmax) & (ys >= b.ymin) & (ys <= b.ymax)
+        if inside.any():
+            z[inside] = (
+                scene.terrain.height_at(
+                    np.array([b.center[0]]), np.array([b.center[1]])
+                )[0]
+                + building.height
+                + rng.normal(0, 0.1, int(inside.sum()))
+            )
+    return z
+
+
+def generate_points(
+    scene: LidarScene,
+    n_points: int,
+    seed: int = 0,
+    n_flightlines: Optional[int] = None,
+) -> Dict[str, np.ndarray]:
+    """Sample an airborne survey of the scene; returns full flat columns.
+
+    Points are generated *in flightline order* — the acquisition order real
+    LAS files come in.  That ordering is what gives X (the strip axis)
+    strong local clustering, the "side effect of the construction process"
+    that imprints exploit (Section 2.1.1).
+    """
+    if n_points <= 0:
+        raise ValueError("n_points must be positive")
+    rng = np.random.default_rng(seed)
+    extent = scene.extent
+    if n_flightlines is None:
+        n_flightlines = max(2, int(np.sqrt(n_points) / 40))
+
+    per_line = np.full(n_flightlines, n_points // n_flightlines, dtype=np.int64)
+    per_line[: n_points % n_flightlines] += 1
+    line_width = extent.height / n_flightlines
+
+    xs_parts, ys_parts, angle_parts, line_ids = [], [], [], []
+    for line in range(n_flightlines):
+        m = int(per_line[line])
+        if m == 0:
+            continue
+        # Serpentine: odd lines fly back.
+        along = np.sort(rng.uniform(0, 1, m))
+        if line % 2:
+            along = along[::-1]
+        x = extent.xmin + along * extent.width
+        y0 = extent.ymin + line * line_width
+        # Scanner sweeps across the strip; angle oscillates.
+        phase = np.linspace(0, m / 35.0, m)
+        sweep = np.sin(2 * np.pi * phase)
+        y = y0 + (0.5 + 0.45 * sweep) * line_width
+        y += rng.normal(0, 0.02 * line_width, m)
+        np.clip(y, extent.ymin, extent.ymax, out=y)
+        xs_parts.append(x)
+        ys_parts.append(y)
+        angle_parts.append((sweep * 20).astype(np.int16))
+        line_ids.append(np.full(m, line + 1, dtype=np.uint16))
+
+    xs = np.concatenate(xs_parts)
+    ys = np.concatenate(ys_parts)
+    scan_angle = np.concatenate(angle_parts)
+    point_source_id = np.concatenate(line_ids)
+    n = xs.shape[0]
+
+    cls = _classify(scene, xs, ys, rng)
+    z = _elevation(scene, xs, ys, cls, rng)
+
+    intensity = np.empty(n, dtype=np.float64)
+    red = np.empty(n, dtype=np.uint16)
+    green = np.empty(n, dtype=np.uint16)
+    blue = np.empty(n, dtype=np.uint16)
+    for code, (mean, std) in _CLASS_INTENSITY.items():
+        mask = cls == code
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        intensity[mask] = np.clip(rng.normal(mean, std, count), 0, 65535)
+        r, g, b = _CLASS_RGB[code]
+        jitter = rng.integers(-2000, 2000, (count, 3))
+        red[mask] = np.clip(r + jitter[:, 0], 0, 65535)
+        green[mask] = np.clip(g + jitter[:, 1], 0, 65535)
+        blue[mask] = np.clip(b + jitter[:, 2], 0, 65535)
+
+    # Multi-return pulses over vegetation; single returns elsewhere.
+    veg = np.isin(cls, [CLASS_LOW_VEG, CLASS_MED_VEG, CLASS_HIGH_VEG])
+    number_of_returns = np.where(veg, rng.integers(2, 5, n), 1).astype(np.uint8)
+    return_number = np.minimum(
+        rng.integers(1, 5, n).astype(np.uint8), number_of_returns
+    ).astype(np.uint8)
+
+    gps_time = np.cumsum(rng.exponential(1e-4, n))
+    nir = np.clip(
+        intensity * 0.8 + rng.normal(0, 100, n), 0, 65535
+    ).astype(np.uint16)
+
+    return {
+        "x": xs,
+        "y": ys,
+        "z": z,
+        "intensity": intensity.astype(np.uint16),
+        "return_number": return_number,
+        "number_of_returns": number_of_returns,
+        "scan_direction_flag": (scan_angle >= 0).astype(np.uint8),
+        "edge_of_flight_line": (np.abs(scan_angle) >= 19).astype(np.uint8),
+        "classification": cls,
+        "synthetic": np.zeros(n, dtype=np.uint8),
+        "key_point": np.zeros(n, dtype=np.uint8),
+        "withheld": (rng.uniform(0, 1, n) < 0.001).astype(np.uint8),
+        "overlap": np.zeros(n, dtype=np.uint8),
+        "scanner_channel": np.zeros(n, dtype=np.uint8),
+        "scan_angle": scan_angle,
+        "user_data": np.zeros(n, dtype=np.uint8),
+        "point_source_id": point_source_id,
+        "gps_time": gps_time,
+        "red": red,
+        "green": green,
+        "blue": blue,
+        "nir": nir,
+        "wave_packet_index": np.zeros(n, dtype=np.uint8),
+        "wave_byte_offset": np.zeros(n, dtype=np.uint64),
+        "wave_packet_size": np.zeros(n, dtype=np.uint32),
+        "wave_return_location": np.zeros(n, dtype=np.float32),
+    }
+
+
+def generate_tiles(
+    extent: Box,
+    n_points: int,
+    n_tiles_x: int,
+    n_tiles_y: int,
+    seed: int = 0,
+) -> Iterator[Tuple[Box, Dict[str, np.ndarray]]]:
+    """Generate the cloud as a grid of tiles (the AHN2 file layout).
+
+    Each tile gets its own scene detail but shares the regional terrain,
+    and yields ``(tile_extent, columns)`` ready for :func:`write_las`.
+    """
+    scene = make_scene(extent, seed=seed)
+    n_tiles = n_tiles_x * n_tiles_y
+    per_tile = np.full(n_tiles, n_points // n_tiles, dtype=np.int64)
+    per_tile[: n_points % n_tiles] += 1
+    tile_w = extent.width / n_tiles_x
+    tile_h = extent.height / n_tiles_y
+    tile = 0
+    for ty in range(n_tiles_y):
+        for tx in range(n_tiles_x):
+            m = int(per_tile[tile])
+            tile_extent = Box(
+                extent.xmin + tx * tile_w,
+                extent.ymin + ty * tile_h,
+                extent.xmin + (tx + 1) * tile_w,
+                extent.ymin + (ty + 1) * tile_h,
+            )
+            if m > 0:
+                tile_scene = LidarScene(
+                    extent=tile_extent,
+                    terrain=scene.terrain,
+                    buildings=[
+                        b
+                        for b in scene.buildings
+                        if b.box.intersects(tile_extent)
+                    ],
+                    canopy_centers=scene.canopy_centers,
+                    canopy_radii=scene.canopy_radii,
+                )
+                yield tile_extent, generate_points(
+                    tile_scene, m, seed=seed + 1000 + tile
+                )
+            tile += 1
+
+
+def split_cloud_into_tiles(
+    columns: Dict[str, np.ndarray],
+    extent: Box,
+    n_tiles_x: int,
+    n_tiles_y: int,
+) -> Iterator[Tuple[Box, Dict[str, np.ndarray]]]:
+    """Partition an existing cloud by a tile grid (one LAS file per tile).
+
+    Unlike :func:`generate_tiles` this does not synthesise new points; it
+    re-cuts the given columns, so file-based and in-memory copies of a
+    dataset hold the *same* point multiset.
+    """
+    xs = np.asarray(columns["x"])
+    ys = np.asarray(columns["y"])
+    tile_w = extent.width / n_tiles_x
+    tile_h = extent.height / n_tiles_y
+    tx = np.clip(((xs - extent.xmin) / tile_w).astype(np.int64), 0, n_tiles_x - 1)
+    ty = np.clip(((ys - extent.ymin) / tile_h).astype(np.int64), 0, n_tiles_y - 1)
+    tile_ids = ty * n_tiles_x + tx
+    for tile in range(n_tiles_x * n_tiles_y):
+        members = np.flatnonzero(tile_ids == tile)
+        if members.shape[0] == 0:
+            continue
+        cy, cx = divmod(tile, n_tiles_x)
+        tile_extent = Box(
+            extent.xmin + cx * tile_w,
+            extent.ymin + cy * tile_h,
+            extent.xmin + (cx + 1) * tile_w,
+            extent.ymin + (cy + 1) * tile_h,
+        )
+        yield tile_extent, {name: np.asarray(arr)[members] for name, arr in columns.items()}
+
+
+def write_cloud_tiles(
+    directory: PathLike,
+    columns: Dict[str, np.ndarray],
+    extent: Box,
+    n_tiles_x: int = 4,
+    n_tiles_y: int = 4,
+    compressed: bool = False,
+) -> List[Path]:
+    """Write an existing cloud as a tile-grid of .las/.laz files."""
+    from ..las.laz import write_laz
+    from ..las.writer import write_las
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for i, (_tile_extent, tile_columns) in enumerate(
+        split_cloud_into_tiles(columns, extent, n_tiles_x, n_tiles_y)
+    ):
+        suffix = "laz" if compressed else "las"
+        path = directory / f"tile_{i:05d}.{suffix}"
+        if compressed:
+            write_laz(path, tile_columns)
+        else:
+            write_las(path, tile_columns)
+        paths.append(path)
+    return paths
+
+
+def write_tile_files(
+    directory: PathLike,
+    extent: Box,
+    n_points: int,
+    n_tiles_x: int = 4,
+    n_tiles_y: int = 4,
+    seed: int = 0,
+    compressed: bool = False,
+) -> List[Path]:
+    """Materialise the tiled cloud as .las (or .laz) files on disk."""
+    from ..las.laz import write_laz
+    from ..las.writer import write_las
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for i, (_tile_extent, columns) in enumerate(
+        generate_tiles(extent, n_points, n_tiles_x, n_tiles_y, seed=seed)
+    ):
+        suffix = "laz" if compressed else "las"
+        path = directory / f"tile_{i:05d}.{suffix}"
+        if compressed:
+            write_laz(path, columns)
+        else:
+            write_las(path, columns)
+        paths.append(path)
+    return paths

@@ -1,0 +1,184 @@
+"""Synthetic OpenStreetMap-like vector data: roads, rivers, POIs.
+
+OSM supplies "ample information about the road network, the river network,
+points of interest etc." (Section 4).  This generator builds a perturbed
+grid road network (networkx), meandering rivers, and tagged POIs over the
+same extent as the LIDAR, so Scenario-2 queries can join the datasets.
+
+Road classes follow the OSM highway hierarchy; ``motorway`` segments are
+the "fast transit" corridors the Urban Atlas generator buffers into its
+12210 zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..gis.envelope import Box
+from ..gis.geometry import LineString, Point
+
+#: OSM-ish road classes and the integer codes the flat tables store.
+ROAD_CLASSES: Dict[str, int] = {
+    "motorway": 1,
+    "primary": 2,
+    "secondary": 3,
+    "residential": 4,
+}
+ROAD_CLASS_NAMES = {code: name for name, code in ROAD_CLASSES.items()}
+
+POI_KINDS: Dict[str, int] = {
+    "station": 1,
+    "school": 2,
+    "hospital": 3,
+    "supermarket": 4,
+    "windmill": 5,
+}
+
+
+@dataclass
+class Road:
+    """One road segment with its OSM-like attributes."""
+
+    road_id: int
+    name: str
+    road_class: str
+    geometry: LineString
+
+    @property
+    def class_code(self) -> int:
+        return ROAD_CLASSES[self.road_class]
+
+
+@dataclass
+class River:
+    river_id: int
+    name: str
+    geometry: LineString
+
+
+@dataclass
+class Poi:
+    poi_id: int
+    name: str
+    kind: str
+    geometry: Point
+
+    @property
+    def kind_code(self) -> int:
+        return POI_KINDS[self.kind]
+
+
+@dataclass
+class OsmData:
+    """The generated vector bundle."""
+
+    extent: Box
+    roads: List[Road] = field(default_factory=list)
+    rivers: List[River] = field(default_factory=list)
+    pois: List[Poi] = field(default_factory=list)
+
+    def roads_of_class(self, road_class: str) -> List[Road]:
+        return [r for r in self.roads if r.road_class == road_class]
+
+
+def generate_osm(
+    extent: Box,
+    grid: int = 6,
+    n_rivers: int = 2,
+    n_pois: int = 60,
+    seed: int = 0,
+) -> OsmData:
+    """Build the road/river/POI bundle for a region.
+
+    The road network is a ``grid x grid`` lattice with jittered nodes:
+    the outer ring and one central cross become motorways/primaries, the
+    rest residential — a caricature of a Dutch city's ring road + radials.
+    """
+    if grid < 2:
+        raise ValueError("grid must be >= 2")
+    rng = np.random.default_rng(seed)
+    graph = nx.grid_2d_graph(grid, grid)
+
+    # Jittered node positions in world coordinates.
+    def node_xy(node: Tuple[int, int]) -> Tuple[float, float]:
+        i, j = node
+        jitter = 0.25 / max(grid - 1, 1)
+        fx = i / (grid - 1) + rng.uniform(-jitter, jitter) * (0 < i < grid - 1)
+        fy = j / (grid - 1) + rng.uniform(-jitter, jitter) * (0 < j < grid - 1)
+        return (
+            extent.xmin + fx * extent.width,
+            extent.ymin + fy * extent.height,
+        )
+
+    positions = {node: node_xy(node) for node in graph.nodes}
+
+    mid = grid // 2
+    roads: List[Road] = []
+    for rid, (a, b) in enumerate(sorted(graph.edges)):
+        on_border = (
+            (a[0] == b[0] and a[0] in (0, grid - 1))
+            or (a[1] == b[1] and a[1] in (0, grid - 1))
+        )
+        on_cross = (a[0] == b[0] == mid) or (a[1] == b[1] == mid)
+        if on_cross:
+            road_class = "motorway"
+        elif on_border:
+            road_class = "primary"
+        else:
+            road_class = "secondary" if rng.uniform() < 0.3 else "residential"
+        # A midpoint bend makes segments non-trivial linestrings.
+        (x1, y1), (x2, y2) = positions[a], positions[b]
+        mx = (x1 + x2) / 2 + rng.normal(0, 0.01 * extent.width)
+        my = (y1 + y2) / 2 + rng.normal(0, 0.01 * extent.height)
+        mx = float(np.clip(mx, extent.xmin, extent.xmax))
+        my = float(np.clip(my, extent.ymin, extent.ymax))
+        roads.append(
+            Road(
+                road_id=rid,
+                name=f"{road_class}_{rid}",
+                road_class=road_class,
+                geometry=LineString([(x1, y1), (mx, my), (x2, y2)]),
+            )
+        )
+
+    rivers: List[River] = []
+    for rid in range(n_rivers):
+        # A river meanders west -> east as a bounded random walk.
+        n_steps = 20
+        xs = np.linspace(extent.xmin, extent.xmax, n_steps)
+        ys = np.empty(n_steps)
+        ys[0] = rng.uniform(
+            extent.ymin + 0.2 * extent.height, extent.ymax - 0.2 * extent.height
+        )
+        for i in range(1, n_steps):
+            ys[i] = ys[i - 1] + rng.normal(0, 0.04 * extent.height)
+        np.clip(ys, extent.ymin, extent.ymax, out=ys)
+        rivers.append(
+            River(
+                river_id=rid,
+                name=f"river_{rid}",
+                geometry=LineString(np.column_stack([xs, ys])),
+            )
+        )
+
+    pois: List[Poi] = []
+    kinds = list(POI_KINDS)
+    for pid in range(n_pois):
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        pois.append(
+            Poi(
+                poi_id=pid,
+                name=f"{kind}_{pid}",
+                kind=kind,
+                geometry=Point(
+                    rng.uniform(extent.xmin, extent.xmax),
+                    rng.uniform(extent.ymin, extent.ymax),
+                ),
+            )
+        )
+
+    return OsmData(extent=extent, roads=roads, rivers=rivers, pois=pois)

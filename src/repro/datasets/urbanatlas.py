@@ -1,0 +1,212 @@
+"""Synthetic Urban Atlas-like land-use / land-cover zones.
+
+Urban Atlas "provides pan-European information regarding the land use and
+land cover data for urban zones" (Section 4).  Zones carry a nomenclature
+code; the demo's signature query targets code 12210, "fast transit roads
+and associated land".
+
+The generator classifies a coarse grid over the region — water from the
+terrain, urban densities around seeded centres, forest/agriculture
+elsewhere — then merges connected same-class cells into rectilinear
+(multi)polygons.  Fast-transit zones are buffers around the OSM motorway
+corridors, so Scenario-2 joins across the datasets are spatially coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gis.envelope import Box
+from ..gis.geometry import MultiPolygon, Polygon
+from .osm import OsmData
+from .terrain import Terrain
+
+#: The Urban Atlas nomenclature subset used by the demo.
+UA_CODES: Dict[int, str] = {
+    11100: "continuous urban fabric",
+    11210: "discontinuous dense urban fabric",
+    12100: "industrial, commercial, public units",
+    12210: "fast transit roads and associated land",
+    14100: "green urban areas",
+    21000: "arable land",
+    31000: "forests",
+    51000: "water bodies",
+}
+
+FAST_TRANSIT = 12210
+WATER_BODY = 51000
+
+
+@dataclass
+class LandUseZone:
+    """One Urban Atlas zone: a (multi)polygon with a nomenclature code."""
+
+    zone_id: int
+    code: int
+    geometry: MultiPolygon
+
+    @property
+    def label(self) -> str:
+        return UA_CODES[self.code]
+
+    @property
+    def area(self) -> float:
+        return self.geometry.area
+
+
+@dataclass
+class UrbanAtlasData:
+    extent: Box
+    zones: List[LandUseZone] = field(default_factory=list)
+
+    def zones_of(self, code: int) -> List[LandUseZone]:
+        return [z for z in self.zones if z.code == code]
+
+
+def _merge_cells_to_multipolygon(
+    mask: np.ndarray, extent: Box, nx_cells: int, ny_cells: int
+) -> MultiPolygon:
+    """Turn a boolean cell mask into a MultiPolygon of merged rectangles.
+
+    Cells are coalesced into maximal horizontal strips, and vertically
+    stacked strips with identical x-spans merge further — compact,
+    valid rectilinear geometry without a full contour tracer.
+    """
+    cell_w = extent.width / nx_cells
+    cell_h = extent.height / ny_cells
+    # Horizontal strips per row.
+    strips: List[List[float]] = []  # [x0, x1, y0, y1]
+    for row in range(ny_cells):
+        col = 0
+        while col < nx_cells:
+            if not mask[row, col]:
+                col += 1
+                continue
+            start = col
+            while col < nx_cells and mask[row, col]:
+                col += 1
+            strips.append(
+                [
+                    extent.xmin + start * cell_w,
+                    extent.xmin + col * cell_w,
+                    extent.ymin + row * cell_h,
+                    extent.ymin + (row + 1) * cell_h,
+                ]
+            )
+    # Vertical coalescing of equal-span strips.
+    strips.sort(key=lambda s: (s[0], s[1], s[2]))
+    merged: List[List[float]] = []
+    for strip in strips:
+        if (
+            merged
+            and merged[-1][0] == strip[0]
+            and merged[-1][1] == strip[1]
+            and abs(merged[-1][3] - strip[2]) < 1e-9
+        ):
+            merged[-1][3] = strip[3]
+        else:
+            merged.append(strip)
+    polygons = [
+        Polygon([(x0, y0), (x1, y0), (x1, y1), (x0, y1)])
+        for x0, x1, y0, y1 in merged
+    ]
+    return MultiPolygon(polygons)
+
+
+def _segment_buffer_boxes(coords: np.ndarray, radius: float) -> List[Polygon]:
+    """Axis-aligned buffer rectangles along a polyline (corridor zones)."""
+    boxes = []
+    for i in range(coords.shape[0] - 1):
+        x0 = min(coords[i, 0], coords[i + 1, 0]) - radius
+        x1 = max(coords[i, 0], coords[i + 1, 0]) + radius
+        y0 = min(coords[i, 1], coords[i + 1, 1]) - radius
+        y1 = max(coords[i, 1], coords[i + 1, 1]) + radius
+        boxes.append(Polygon([(x0, y0), (x1, y0), (x1, y1), (x0, y1)]))
+    return boxes
+
+
+def generate_urban_atlas(
+    extent: Box,
+    terrain: Optional[Terrain] = None,
+    osm: Optional[OsmData] = None,
+    grid: int = 24,
+    n_urban_seeds: int = 3,
+    corridor_width: float = 0.01,
+    seed: int = 0,
+) -> UrbanAtlasData:
+    """Build the land-use mosaic.
+
+    Parameters
+    ----------
+    terrain:
+        When given, water-body zones follow its water mask.
+    osm:
+        When given, every motorway gets a fast-transit corridor zone
+        (``corridor_width`` as a fraction of the extent width).
+    grid:
+        Classification grid resolution (grid x grid cells).
+    """
+    rng = np.random.default_rng(seed)
+    # Classify the coarse grid.
+    cell_cx = extent.xmin + (np.arange(grid) + 0.5) * extent.width / grid
+    cell_cy = extent.ymin + (np.arange(grid) + 0.5) * extent.height / grid
+    cxx, cyy = np.meshgrid(cell_cx, cell_cy)
+    codes = np.full((grid, grid), 21000, dtype=np.int64)  # arable default
+
+    # Forest blobs.
+    for _ in range(4):
+        fx = rng.uniform(extent.xmin, extent.xmax)
+        fy = rng.uniform(extent.ymin, extent.ymax)
+        fr = rng.uniform(0.08, 0.2) * extent.width
+        codes[(cxx - fx) ** 2 + (cyy - fy) ** 2 <= fr * fr] = 31000
+
+    # Urban densities around seeds: continuous core, dense ring,
+    # industrial/green sprinkles.
+    for _ in range(n_urban_seeds):
+        ux = rng.uniform(
+            extent.xmin + 0.2 * extent.width, extent.xmax - 0.2 * extent.width
+        )
+        uy = rng.uniform(
+            extent.ymin + 0.2 * extent.height, extent.ymax - 0.2 * extent.height
+        )
+        dist = np.hypot(cxx - ux, cyy - uy)
+        core = 0.06 * extent.width
+        ring = 0.14 * extent.width
+        codes[dist <= core] = 11100
+        in_ring = (dist > core) & (dist <= ring)
+        ring_draw = rng.uniform(0, 1, codes.shape)
+        codes[in_ring & (ring_draw < 0.6)] = 11210
+        codes[in_ring & (ring_draw >= 0.6) & (ring_draw < 0.8)] = 12100
+        codes[in_ring & (ring_draw >= 0.8)] = 14100
+
+    # Water from the terrain mask wins over everything.
+    if terrain is not None:
+        water = terrain.is_water(cxx.ravel(), cyy.ravel()).reshape(grid, grid)
+        codes[water] = WATER_BODY
+
+    zones: List[LandUseZone] = []
+    zone_id = 0
+    for code in sorted(set(codes.ravel().tolist())):
+        mask = codes == code
+        geometry = _merge_cells_to_multipolygon(mask, extent, grid, grid)
+        zones.append(LandUseZone(zone_id=zone_id, code=int(code), geometry=geometry))
+        zone_id += 1
+
+    # Fast-transit corridors along the motorways.
+    if osm is not None:
+        radius = corridor_width * extent.width
+        for road in osm.roads_of_class("motorway"):
+            boxes = _segment_buffer_boxes(road.geometry.coords, radius)
+            zones.append(
+                LandUseZone(
+                    zone_id=zone_id,
+                    code=FAST_TRANSIT,
+                    geometry=MultiPolygon(boxes),
+                )
+            )
+            zone_id += 1
+
+    return UrbanAtlasData(extent=extent, zones=zones)

@@ -1,0 +1,21 @@
+"""Column-store engine substrate: the repo's "mini MonetDB".
+
+Columns on numpy arrays, flat tables, candidate-list operators, per-column
+binary persistence, and lightweight compression.  The paper's contribution
+(:mod:`repro.core`) is built on top of these pieces.
+"""
+
+from .catalog import CatalogError, Database
+from .column import Column, ColumnTypeError, resolve_type
+from .table import Schema, SchemaError, Table
+
+__all__ = [
+    "CatalogError",
+    "Column",
+    "ColumnTypeError",
+    "Database",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "resolve_type",
+]

@@ -1,0 +1,111 @@
+"""Aggregation operators: scalar aggregates and grouped aggregates.
+
+Scenario 2 of the demo runs queries like "compute the average elevation of
+the LIDAR points near a fast transit road"; these operators are the engine
+half of that.  Grouped aggregation uses the sort-based grouping idiom
+(``np.unique`` + ``np.add.reduceat``), the columnar analogue of MonetDB's
+group-by kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .column import Column
+
+
+def _materialise(column: Column, candidates: Optional[np.ndarray]) -> np.ndarray:
+    return column.values if candidates is None else column.take(candidates)
+
+
+def count(column: Column, candidates: Optional[np.ndarray] = None) -> int:
+    """Number of qualifying rows."""
+    return len(column) if candidates is None else int(len(candidates))
+
+
+def sum_(column: Column, candidates: Optional[np.ndarray] = None):
+    """Sum over qualifying rows (0 on empty input, SQL-style for SUM of none
+    is NULL; the engine returns 0 and the SQL layer maps empty to None)."""
+    return _materialise(column, candidates).sum()
+
+
+def avg(column: Column, candidates: Optional[np.ndarray] = None) -> float:
+    """Arithmetic mean over qualifying rows; NaN on empty input."""
+    vals = _materialise(column, candidates)
+    if vals.shape[0] == 0:
+        return float("nan")
+    return float(vals.mean())
+
+
+def min_(column: Column, candidates: Optional[np.ndarray] = None):
+    vals = _materialise(column, candidates)
+    if vals.shape[0] == 0:
+        raise ValueError("min of empty input")
+    return vals.min()
+
+
+def max_(column: Column, candidates: Optional[np.ndarray] = None):
+    vals = _materialise(column, candidates)
+    if vals.shape[0] == 0:
+        raise ValueError("max of empty input")
+    return vals.max()
+
+
+#: Aggregate kernels over a 1-D value array, used by :func:`group_aggregate`.
+_GROUP_KERNELS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": lambda v, starts: np.add.reduceat(v, starts),
+    "min": lambda v, starts: np.minimum.reduceat(v, starts),
+    "max": lambda v, starts: np.maximum.reduceat(v, starts),
+}
+
+
+def group_aggregate(
+    group_values: np.ndarray,
+    agg_values: Optional[np.ndarray],
+    func: str,
+) -> Dict[str, np.ndarray]:
+    """Grouped aggregate: one output row per distinct group value.
+
+    Parameters
+    ----------
+    group_values:
+        Grouping key per qualifying row.
+    agg_values:
+        Values to aggregate (ignored for ``count``).
+    func:
+        One of ``count``, ``sum``, ``avg``, ``min``, ``max``.
+
+    Returns a dict with ``groups`` (distinct keys, sorted) and ``values``
+    (the aggregate per group, aligned with ``groups``).
+    """
+    group_values = np.asarray(group_values)
+    if group_values.shape[0] == 0:
+        return {
+            "groups": group_values[:0],
+            "values": np.empty(0, dtype=np.float64),
+        }
+    order = np.argsort(group_values, kind="stable")
+    sorted_groups = group_values[order]
+    boundary = np.empty(sorted_groups.shape[0], dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_groups[1:] != sorted_groups[:-1]
+    starts = np.flatnonzero(boundary)
+    groups = sorted_groups[starts]
+    sizes = np.diff(np.append(starts, sorted_groups.shape[0]))
+
+    if func == "count":
+        return {"groups": groups, "values": sizes.astype(np.int64)}
+
+    if agg_values is None:
+        raise ValueError(f"aggregate {func!r} requires values")
+    sorted_vals = np.asarray(agg_values)[order]
+    if func == "avg":
+        sums = np.add.reduceat(sorted_vals.astype(np.float64), starts)
+        return {"groups": groups, "values": sums / sizes}
+    try:
+        kernel = _GROUP_KERNELS[func]
+    except KeyError:
+        raise ValueError(f"unknown aggregate {func!r}") from None
+    return {"groups": groups, "values": kernel(sorted_vals, starts)}

@@ -1,0 +1,103 @@
+"""The database catalog: named tables plus optional on-disk persistence.
+
+A :class:`Database` is the session object of the engine — the analogue of a
+MonetDB database farm.  Tables live in memory; :meth:`Database.save` /
+:meth:`Database.load` persist them as per-column binary files under a
+directory (one subdirectory per table).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from . import storage
+from .table import Schema, Table
+
+PathLike = Union[str, Path]
+
+
+class CatalogError(KeyError):
+    """Raised on unknown or duplicate table names."""
+
+
+class Database:
+    """A collection of named flat tables.
+
+    Parameters
+    ----------
+    directory:
+        Optional persistence root.  When given, :meth:`save` writes every
+        table beneath it and ``Database.load(directory)`` restores the lot.
+    """
+
+    def __init__(self, directory: Optional[PathLike] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._tables: Dict[str, Table] = {}
+
+    # -- table lifecycle ----------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create an empty table; fails on duplicate names."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def register(self, table: Table) -> Table:
+        """Adopt an existing table object under its own name."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog (in-memory only)."""
+        if name not in self._tables:
+            raise CatalogError(f"no table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> List[str]:
+        return sorted(self._tables.keys())
+
+    @property
+    def nbytes(self) -> int:
+        """Total live bytes across all tables."""
+        return sum(t.nbytes for t in self._tables.values())
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, directory: Optional[PathLike] = None) -> int:
+        """Persist all tables; returns total bytes written."""
+        root = Path(directory) if directory is not None else self.directory
+        if root is None:
+            raise ValueError("no persistence directory configured")
+        root.mkdir(parents=True, exist_ok=True)
+        total = 0
+        for name, table in self._tables.items():
+            total += storage.save_table(table, root / name)
+        return total
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "Database":
+        """Restore a database persisted with :meth:`save`."""
+        root = Path(directory)
+        if not root.is_dir():
+            raise storage.StorageError(f"no database directory at {root}")
+        db = cls(directory=root)
+        for entry in sorted(root.iterdir()):
+            if entry.is_dir() and (entry / "schema.json").exists():
+                db.register(storage.load_table(entry))
+        return db

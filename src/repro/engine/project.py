@@ -1,0 +1,30 @@
+"""Late-materialisation projection helpers.
+
+In a column store, selects produce row ids and values are only fetched
+("materialised") for the columns a query actually touches, as late as
+possible.  These helpers implement that fetch-join step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .table import Table
+
+
+def project(
+    table: Table, oids: np.ndarray, columns: Optional[Sequence[str]] = None
+) -> Dict[str, np.ndarray]:
+    """Materialise ``columns`` of ``table`` at the given row ids."""
+    return table.fetch(oids, columns)
+
+
+def project_rows(
+    table: Table, oids: np.ndarray, columns: Optional[Sequence[str]] = None
+) -> list:
+    """Materialise as a list of row tuples (for small result sets / display)."""
+    cols = project(table, oids, columns)
+    names = list(cols.keys())
+    return [tuple(cols[n][i] for n in names) for i in range(len(oids))]

@@ -1,0 +1,104 @@
+"""Candidate-list select operators.
+
+MonetDB's operator-at-a-time execution threads *candidate lists* (sorted
+arrays of row ids) between operators: each select consumes the previous
+operator's candidates and returns the surviving subset.  These functions are
+the engine's scan-based selects; the imprints index in
+:mod:`repro.core.imprints` produces the same candidate-list contract, so the
+two are interchangeable in query plans (which is exactly how the paper swaps
+a full scan for an index probe).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .column import Column
+
+#: Comparison operators accepted by :func:`theta_select`.
+_THETA_OPS: Dict[str, Callable[[np.ndarray, object], np.ndarray]] = {
+    "==": lambda v, c: v == c,
+    "!=": lambda v, c: v != c,
+    "<": lambda v, c: v < c,
+    "<=": lambda v, c: v <= c,
+    ">": lambda v, c: v > c,
+    ">=": lambda v, c: v >= c,
+}
+
+
+def _as_candidates(mask: np.ndarray, candidates: Optional[np.ndarray]) -> np.ndarray:
+    """Turn a boolean mask (over values or candidates) into a candidate list."""
+    hits = np.flatnonzero(mask)
+    if candidates is None:
+        return hits.astype(np.int64)
+    return candidates[hits]
+
+
+def theta_select(
+    column: Column,
+    op: str,
+    constant,
+    candidates: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Rows where ``column <op> constant`` holds, as a sorted oid array.
+
+    When ``candidates`` is given, only those rows are inspected and the
+    result is a subset of them (preserving order).
+    """
+    try:
+        fn = _THETA_OPS[op]
+    except KeyError:
+        raise ValueError(f"unknown theta operator {op!r}") from None
+    vals = column.values if candidates is None else column.take(candidates)
+    return _as_candidates(fn(vals, constant), candidates)
+
+
+def range_select(
+    column: Column,
+    lo,
+    hi,
+    lo_inclusive: bool = True,
+    hi_inclusive: bool = True,
+    candidates: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Rows with ``lo <(=) column <(=) hi`` as a sorted oid array.
+
+    Either bound may be ``None`` for a half-open range.  This is the scan
+    equivalent of an imprints probe and is used both as the fallback path
+    and as the exactness reference in tests.
+    """
+    vals = column.values if candidates is None else column.take(candidates)
+    mask = np.ones(vals.shape[0], dtype=bool)
+    if lo is not None:
+        mask &= (vals >= lo) if lo_inclusive else (vals > lo)
+    if hi is not None:
+        mask &= (vals <= hi) if hi_inclusive else (vals < hi)
+    return _as_candidates(mask, candidates)
+
+
+def mask_select(
+    mask: np.ndarray, candidates: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Candidate list from a caller-computed boolean mask.
+
+    The mask is over the full column when ``candidates`` is ``None`` and
+    over the candidate rows otherwise.
+    """
+    return _as_candidates(np.asarray(mask, dtype=bool), candidates)
+
+
+def intersect_candidates(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted candidate lists (both remain sorted)."""
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def union_candidates(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Union of two sorted candidate lists."""
+    return np.union1d(a, b)
+
+
+def difference_candidates(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Candidates in ``a`` but not in ``b`` (both sorted unique)."""
+    return np.setdiff1d(a, b, assume_unique=True)

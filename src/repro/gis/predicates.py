@@ -1,0 +1,358 @@
+"""Spatial predicates and the cell-classification kernel.
+
+Two layers live here:
+
+* **Point-set predicates** — vectorised ``points_satisfy`` used during
+  refinement and by the SQL functions (``ST_Contains``, ``ST_DWithin`` ...).
+* **Cell classification** — :func:`classify_box` decides, for a grid cell,
+  whether *all* its points satisfy the predicate (``INSIDE``), *none* do
+  (``OUTSIDE``), or the cell straddles the geometry boundary
+  (``BOUNDARY``).  This is the heart of Section 3.3: "The spatial relation
+  is then evaluated between each non-empty cell and the geometry G ...
+  for cells that overlap the boundary of the given geometry G ... all
+  points within such cells have to be checked exhaustively."
+
+``INSIDE``/``OUTSIDE`` answers are always exact; when a cheap exact answer
+is impossible the classifier says ``BOUNDARY``, which only costs time,
+never correctness.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from . import algorithms as alg
+from .envelope import Box
+from .geometry import (
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class CellRelation(enum.Enum):
+    """Relation of a grid cell to the query geometry/predicate."""
+
+    INSIDE = "inside"
+    OUTSIDE = "outside"
+    BOUNDARY = "boundary"
+
+
+QueryGeometry = Union[Box, Point, LineString, MultiLineString, Polygon, MultiPolygon]
+
+
+def geometry_envelope(geom: QueryGeometry) -> Box:
+    """Envelope of a query geometry or a raw Box."""
+    if isinstance(geom, Box):
+        return geom
+    return geom.envelope
+
+
+# -- vectorised point-set predicates -------------------------------------------
+
+
+def points_in_geometry(xs: np.ndarray, ys: np.ndarray, geom: QueryGeometry) -> np.ndarray:
+    """Boolean per point: is it contained in the (areal) geometry?"""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if isinstance(geom, Box):
+        return (
+            (xs >= geom.xmin)
+            & (xs <= geom.xmax)
+            & (ys >= geom.ymin)
+            & (ys <= geom.ymax)
+        )
+    if isinstance(geom, Polygon):
+        return alg.points_in_polygon(xs, ys, geom)
+    if isinstance(geom, MultiPolygon):
+        return alg.points_in_multipolygon(xs, ys, geom)
+    if isinstance(geom, Point):
+        return (xs == geom.x) & (ys == geom.y)
+    raise TypeError(
+        f"containment needs an areal geometry, got {type(geom).__name__}"
+    )
+
+
+def points_within_distance(
+    xs: np.ndarray, ys: np.ndarray, geom: QueryGeometry, distance: float
+) -> np.ndarray:
+    """Boolean per point: within ``distance`` of the geometry (ST_DWithin)."""
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if isinstance(geom, Box):
+        dx = np.maximum(np.maximum(geom.xmin - xs, 0.0), xs - geom.xmax)
+        dy = np.maximum(np.maximum(geom.ymin - ys, 0.0), ys - geom.ymax)
+        return dx * dx + dy * dy <= distance * distance
+    return alg.dist_points_to_geometry(xs, ys, geom) <= distance
+
+
+def points_satisfy(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    geom: QueryGeometry,
+    predicate: str = "contains",
+    distance: float = 0.0,
+) -> np.ndarray:
+    """Dispatch on the predicate name used throughout the query layer.
+
+    ``contains``/``intersects`` coincide for points; ``dwithin`` takes the
+    extra distance.
+    """
+    if predicate in ("contains", "intersects", "within"):
+        return points_in_geometry(xs, ys, geom)
+    if predicate == "dwithin":
+        return points_within_distance(xs, ys, geom, distance)
+    raise ValueError(f"unknown spatial predicate {predicate!r}")
+
+
+# -- box-vs-geometry exact relations --------------------------------------------
+
+
+def _box_edges_cross_ring(box: Box, ring: np.ndarray) -> bool:
+    corners = box.corners
+    for i in range(4):
+        a, b = corners[i], corners[(i + 1) % 4]
+        if alg.ring_intersects_segment(ring, a, b):
+            return True
+    return False
+
+
+def _any_vertex_strictly_in_box(ring: np.ndarray, box: Box) -> bool:
+    xs, ys = ring[:, 0], ring[:, 1]
+    return bool(
+        (
+            (xs > box.xmin) & (xs < box.xmax) & (ys > box.ymin) & (ys < box.ymax)
+        ).any()
+    )
+
+
+def classify_box_vs_polygon(box: Box, polygon: Polygon) -> CellRelation:
+    """Exact cell relation for containment in a polygon."""
+    if not box.intersects(polygon.envelope):
+        return CellRelation.OUTSIDE
+    for ring in polygon.rings:
+        if _box_edges_cross_ring(box, ring):
+            return CellRelation.BOUNDARY
+        # A ring entirely inside the cell (tiny polygon or hole within one
+        # cell) makes the cell mixed even with no edge crossings.
+        if _any_vertex_strictly_in_box(ring, box):
+            return CellRelation.BOUNDARY
+    # No crossings, no contained rings: the whole box lies on one side.
+    cx, cy = box.center
+    inside = alg.points_in_polygon(np.array([cx]), np.array([cy]), polygon)[0]
+    return CellRelation.INSIDE if inside else CellRelation.OUTSIDE
+
+
+def classify_box_vs_box(box: Box, query: Box) -> CellRelation:
+    if not box.intersects(query):
+        return CellRelation.OUTSIDE
+    if query.contains_box(box):
+        return CellRelation.INSIDE
+    return CellRelation.BOUNDARY
+
+
+def _min_dist_box_to_segment(box: Box, ax, ay, bx, by) -> float:
+    """Exact min distance between a solid box and a segment."""
+    # Intersecting (or an endpoint inside) -> distance 0.
+    if box.contains_point(ax, ay) or box.contains_point(bx, by):
+        return 0.0
+    corners = box.corners
+    for i in range(4):
+        c1, c2 = corners[i], corners[(i + 1) % 4]
+        if alg.segments_intersect(c1, c2, (ax, ay), (bx, by)):
+            return 0.0
+    # Disjoint: the minimum is at a corner-to-segment or endpoint-to-box pair.
+    cx = np.array([c[0] for c in corners])
+    cy = np.array([c[1] for c in corners])
+    d = float(alg.dist_points_to_segment(cx, cy, ax, ay, bx, by).min())
+    d = min(d, box.min_distance_to_point(ax, ay))
+    d = min(d, box.min_distance_to_point(bx, by))
+    return d
+
+
+def min_distance_box_to_geometry(box: Box, geom: QueryGeometry) -> float:
+    """Exact minimum distance from any point of the box to the geometry."""
+    if isinstance(geom, Box):
+        dx = max(geom.xmin - box.xmax, box.xmin - geom.xmax, 0.0)
+        dy = max(geom.ymin - box.ymax, box.ymin - geom.ymax, 0.0)
+        return (dx * dx + dy * dy) ** 0.5
+    if isinstance(geom, Point):
+        return box.min_distance_to_point(geom.x, geom.y)
+    if isinstance(geom, LineString):
+        coords = geom.coords
+        return min(
+            _min_dist_box_to_segment(
+                box, coords[i, 0], coords[i, 1], coords[i + 1, 0], coords[i + 1, 1]
+            )
+            for i in range(coords.shape[0] - 1)
+        )
+    if isinstance(geom, MultiLineString):
+        return min(min_distance_box_to_geometry(box, line) for line in geom.lines)
+    if isinstance(geom, Polygon):
+        rel = classify_box_vs_polygon(box, geom)
+        if rel is not CellRelation.OUTSIDE:
+            return 0.0
+        return min(
+            _min_dist_box_to_segment(
+                box, ring[i, 0], ring[i, 1], ring[i + 1, 0], ring[i + 1, 1]
+            )
+            for ring in geom.rings
+            for i in range(ring.shape[0] - 1)
+        )
+    if isinstance(geom, MultiPolygon):
+        return min(min_distance_box_to_geometry(box, p) for p in geom.polygons)
+    raise TypeError(f"unsupported geometry: {type(geom).__name__}")
+
+
+def classify_box_dwithin(
+    box: Box, geom: QueryGeometry, distance: float
+) -> CellRelation:
+    """Cell relation for ``dwithin``: exact OUTSIDE, Lipschitz INSIDE.
+
+    * ``OUTSIDE`` when even the nearest box point is farther than
+      ``distance`` (exact).
+    * ``INSIDE`` when the box centre is within ``distance - half_diagonal``
+      (sufficient, because the distance field is 1-Lipschitz).
+    * ``BOUNDARY`` otherwise — decided by exhaustive point checks.
+    """
+    dmin = min_distance_box_to_geometry(box, geom)
+    if dmin > distance:
+        return CellRelation.OUTSIDE
+    half_diag = 0.5 * (box.width**2 + box.height**2) ** 0.5
+    cx, cy = box.center
+    center_dist = float(
+        alg.dist_points_to_geometry(np.array([cx]), np.array([cy]), geom)[0]
+        if not isinstance(geom, Box)
+        else Box.min_distance_to_point(geom, cx, cy)
+    )
+    if center_dist + half_diag <= distance:
+        return CellRelation.INSIDE
+    return CellRelation.BOUNDARY
+
+
+def classify_box(
+    box: Box,
+    geom: QueryGeometry,
+    predicate: str = "contains",
+    distance: float = 0.0,
+) -> CellRelation:
+    """Cell relation for any supported predicate (the refinement kernel)."""
+    if predicate in ("contains", "intersects", "within"):
+        if isinstance(geom, Box):
+            return classify_box_vs_box(box, geom)
+        if isinstance(geom, Polygon):
+            return classify_box_vs_polygon(box, geom)
+        if isinstance(geom, MultiPolygon):
+            relations = [classify_box_vs_polygon(box, p) for p in geom.polygons]
+            if any(r is CellRelation.INSIDE for r in relations):
+                return CellRelation.INSIDE
+            if any(r is CellRelation.BOUNDARY for r in relations):
+                return CellRelation.BOUNDARY
+            return CellRelation.OUTSIDE
+        raise TypeError(
+            f"containment needs an areal geometry, got {type(geom).__name__}"
+        )
+    if predicate == "dwithin":
+        return classify_box_dwithin(box, geom, distance)
+    raise ValueError(f"unknown spatial predicate {predicate!r}")
+
+
+# -- geometry-pair predicates (SQL layer) ----------------------------------------
+
+
+def contains(geom: QueryGeometry, point: Point) -> bool:
+    """OGC ST_Contains restricted to (areal geometry, point)."""
+    return bool(
+        points_in_geometry(np.array([point.x]), np.array([point.y]), geom)[0]
+    )
+
+
+def dwithin(geom: QueryGeometry, point: Point, distance: float) -> bool:
+    """OGC ST_DWithin restricted to (geometry, point)."""
+    return bool(
+        points_within_distance(
+            np.array([point.x]), np.array([point.y]), geom, distance
+        )[0]
+    )
+
+
+def intersects(a: Geometry, b: Geometry) -> bool:
+    """ST_Intersects for the demo's pairs: lines x lines, lines x areal,
+    areal x areal (envelope-filtered, then exact)."""
+    if not a.envelope.intersects(b.envelope):
+        return False
+    if isinstance(a, Point):
+        return contains(b, a) if not isinstance(b, Point) else a == b
+    if isinstance(b, Point):
+        return contains(a, b)
+    if isinstance(a, (Polygon, MultiPolygon)) and isinstance(
+        b, (LineString, MultiLineString)
+    ):
+        return _areal_intersects_lines(a, b)
+    if isinstance(b, (Polygon, MultiPolygon)) and isinstance(
+        a, (LineString, MultiLineString)
+    ):
+        return _areal_intersects_lines(b, a)
+    if isinstance(a, (LineString, MultiLineString)) and isinstance(
+        b, (LineString, MultiLineString)
+    ):
+        for la in _lines_of(a):
+            for lb in _lines_of(b):
+                if alg.linestrings_intersect(la, lb):
+                    return True
+        return False
+    if isinstance(a, (Polygon, MultiPolygon)) and isinstance(
+        b, (Polygon, MultiPolygon)
+    ):
+        return _areal_intersects_areal(a, b)
+    raise TypeError(
+        f"unsupported intersects pair: {type(a).__name__} x {type(b).__name__}"
+    )
+
+
+def _lines_of(geom) -> list:
+    return geom.lines if isinstance(geom, MultiLineString) else [geom]
+
+
+def _polys_of(geom) -> list:
+    return geom.polygons if isinstance(geom, MultiPolygon) else [geom]
+
+
+def _areal_intersects_lines(areal, lines) -> bool:
+    for line in _lines_of(lines):
+        xs, ys = line.coords[:, 0], line.coords[:, 1]
+        if points_in_geometry(xs, ys, areal).any():
+            return True
+        for poly in _polys_of(areal):
+            for ring in poly.rings:
+                for i in range(line.coords.shape[0] - 1):
+                    if alg.ring_intersects_segment(
+                        ring, tuple(line.coords[i]), tuple(line.coords[i + 1])
+                    ):
+                        return True
+    return False
+
+
+def _areal_intersects_areal(a, b) -> bool:
+    for pa in _polys_of(a):
+        for pb in _polys_of(b):
+            # Vertex containment either way, or any ring edges crossing.
+            if alg.points_in_polygon(
+                pa.shell[:, 0], pa.shell[:, 1], pb
+            ).any() or alg.points_in_polygon(pb.shell[:, 0], pb.shell[:, 1], pa).any():
+                return True
+            for ra in pa.rings:
+                for i in range(ra.shape[0] - 1):
+                    if alg.ring_intersects_segment(
+                        pb.shell, tuple(ra[i]), tuple(ra[i + 1])
+                    ):
+                        return True
+    return False

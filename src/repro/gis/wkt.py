@@ -1,0 +1,174 @@
+"""Well-Known Text (WKT) parsing and serialisation.
+
+The SQL layer's ``ST_GeomFromText`` and the demo's user-defined queries
+speak WKT, as specified in the OGC Simple Features standard [9].  Supported
+forms: POINT, MULTIPOINT, LINESTRING, MULTILINESTRING, POLYGON,
+MULTIPOLYGON, each with an EMPTY variant (which raises a clear error,
+since the engine has no empty-geometry semantics).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .geometry import (
+    Geometry,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+class WKTError(ValueError):
+    """Raised on malformed WKT input."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<word>[A-Za-z]+)|(?P<num>[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?)"
+    r"|(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,))"
+)
+
+
+class _Tokens:
+    """A tiny cursor over WKT tokens."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None or match.end() == pos:
+                remainder = text[pos : pos + 20]
+                raise WKTError(f"unexpected input at {pos}: {remainder!r}")
+            pos = match.end()
+            for kind in ("word", "num", "lparen", "rparen", "comma"):
+                value = match.group(kind)
+                if value is not None:
+                    self.tokens.append((kind, value))
+                    break
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.pos >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        got_kind, value = self.next()
+        if got_kind != kind:
+            raise WKTError(f"expected {kind}, got {got_kind} {value!r}")
+        return value
+
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def _parse_coord(tokens: _Tokens) -> Tuple[float, float]:
+    x = float(tokens.expect("num"))
+    y = float(tokens.expect("num"))
+    # Tolerate (and drop) a Z value: LIDAR tools often emit 3-D WKT.
+    if tokens.peek()[0] == "num":
+        tokens.next()
+    return (x, y)
+
+
+def _parse_coord_list(tokens: _Tokens) -> List[Tuple[float, float]]:
+    tokens.expect("lparen")
+    coords = [_parse_coord(tokens)]
+    while tokens.peek()[0] == "comma":
+        tokens.next()
+        coords.append(_parse_coord(tokens))
+    tokens.expect("rparen")
+    return coords
+
+
+def _parse_ring_list(tokens: _Tokens) -> List[List[Tuple[float, float]]]:
+    tokens.expect("lparen")
+    rings = [_parse_coord_list(tokens)]
+    while tokens.peek()[0] == "comma":
+        tokens.next()
+        rings.append(_parse_coord_list(tokens))
+    tokens.expect("rparen")
+    return rings
+
+
+def _check_empty(tokens: _Tokens, tag: str) -> None:
+    kind, value = tokens.peek()
+    if kind == "word" and value.upper() == "EMPTY":
+        raise WKTError(f"{tag} EMPTY is not supported")
+
+
+def loads(text: str) -> Geometry:
+    """Parse one WKT geometry."""
+    if not isinstance(text, str) or not text.strip():
+        raise WKTError("empty WKT input")
+    tokens = _Tokens(text)
+    tag = tokens.expect("word").upper()
+
+    if tag == "POINT":
+        _check_empty(tokens, tag)
+        tokens.expect("lparen")
+        x, y = _parse_coord(tokens)
+        tokens.expect("rparen")
+        geom: Geometry = Point(x, y)
+    elif tag == "MULTIPOINT":
+        _check_empty(tokens, tag)
+        tokens.expect("lparen")
+        coords = []
+        while True:
+            if tokens.peek()[0] == "lparen":  # MULTIPOINT ((1 2), (3 4))
+                tokens.next()
+                coords.append(_parse_coord(tokens))
+                tokens.expect("rparen")
+            else:  # MULTIPOINT (1 2, 3 4)
+                coords.append(_parse_coord(tokens))
+            if tokens.peek()[0] == "comma":
+                tokens.next()
+                continue
+            break
+        tokens.expect("rparen")
+        geom = MultiPoint(coords)
+    elif tag == "LINESTRING":
+        _check_empty(tokens, tag)
+        geom = LineString(_parse_coord_list(tokens))
+    elif tag == "MULTILINESTRING":
+        _check_empty(tokens, tag)
+        geom = MultiLineString(_parse_ring_list(tokens))
+    elif tag == "POLYGON":
+        _check_empty(tokens, tag)
+        rings = _parse_ring_list(tokens)
+        geom = Polygon(rings[0], holes=rings[1:])
+    elif tag == "MULTIPOLYGON":
+        _check_empty(tokens, tag)
+        tokens.expect("lparen")
+        polygons = []
+        while True:
+            rings = _parse_ring_list(tokens)
+            polygons.append(Polygon(rings[0], holes=rings[1:]))
+            if tokens.peek()[0] == "comma":
+                tokens.next()
+                continue
+            break
+        tokens.expect("rparen")
+        geom = MultiPolygon(polygons)
+    else:
+        raise WKTError(f"unsupported geometry tag {tag!r}")
+
+    if not tokens.done():
+        kind, value = tokens.peek()
+        raise WKTError(f"trailing input after geometry: {kind} {value!r}")
+    return geom
+
+
+def dumps(geom: Geometry) -> str:
+    """Serialise a geometry to WKT (delegates to the object model)."""
+    return geom.wkt()

@@ -1,0 +1,95 @@
+"""The CSV loading path the paper's binary loader replaces.
+
+Section 3.2: "In most of the systems, the dominant part of loading stems
+from the conversion of the LAZ files into CSV format and the subsequent
+parsing of the CSV records by the database engine."  This module is that
+slow path, implemented honestly: LAS -> CSV text -> per-record parsing ->
+typed columns.  The E1 bench runs it against the binary loader to
+reproduce the loading-speed gap.
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..engine.column import TYPE_MAP
+from ..engine.table import Table
+from .binloader import LoadStats, flat_batch, read_point_file
+from .spec import FLAT_SCHEMA
+
+PathLike = Union[str, Path]
+
+_COLUMN_NAMES = [name for name, _ in FLAT_SCHEMA]
+_FLOAT_COLUMNS = {
+    name for name, type_name in FLAT_SCHEMA if type_name.startswith("float")
+}
+
+
+def las_to_csv(las_path: PathLike, csv_path: PathLike) -> int:
+    """Stage 1 of the slow path: convert a LAS/LAZ tile to CSV text.
+
+    Returns the number of rows written.  All 26 flat-schema columns are
+    emitted so the CSV is a faithful flat-table dump.
+    """
+    _header, columns = read_point_file(las_path)
+    n = np.asarray(columns["x"]).shape[0]
+    batch = flat_batch(columns, n)
+    with open(Path(csv_path), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_COLUMN_NAMES)
+        for i in range(n):
+            writer.writerow(
+                [
+                    repr(float(batch[name][i]))
+                    if name in _FLOAT_COLUMNS
+                    else int(batch[name][i])
+                    for name in _COLUMN_NAMES
+                ]
+            )
+    return n
+
+
+def load_csv(table: Table, csv_path: PathLike) -> LoadStats:
+    """Stage 2: parse CSV records into the flat table (the engine's
+    ``COPY INTO ... FROM 'file.csv'`` equivalent)."""
+    t0 = time.perf_counter()
+    with open(Path(csv_path), newline="") as fh:
+        reader = csv.reader(fh)
+        header_row = next(reader)
+        if header_row != _COLUMN_NAMES:
+            raise ValueError(
+                f"{csv_path}: CSV header does not match the flat schema"
+            )
+        raw_columns = [[] for _ in _COLUMN_NAMES]
+        for row in reader:
+            for slot, value in zip(raw_columns, row):
+                slot.append(value)
+    batch = {}
+    for (name, type_name), values in zip(FLAT_SCHEMA, raw_columns):
+        dtype = TYPE_MAP[type_name]
+        if name in _FLOAT_COLUMNS:
+            batch[name] = np.array([float(v) for v in values], dtype=dtype)
+        else:
+            batch[name] = np.array([int(v) for v in values], dtype=dtype)
+    table.append_columns(batch)
+    dt = time.perf_counter() - t0
+    return LoadStats(n_points=len(raw_columns[0]), n_files=1, seconds=dt)
+
+
+def load_via_csv(
+    table: Table, las_path: PathLike, scratch_dir: PathLike
+) -> LoadStats:
+    """The full slow pipeline: LAS -> CSV file -> parse -> append."""
+    scratch_dir = Path(scratch_dir)
+    scratch_dir.mkdir(parents=True, exist_ok=True)
+    csv_path = scratch_dir / (Path(las_path).stem + ".csv")
+    t0 = time.perf_counter()
+    las_to_csv(las_path, csv_path)
+    stats = load_csv(table, csv_path)
+    stats.seconds = time.perf_counter() - t0
+    return stats

@@ -1,0 +1,190 @@
+"""LAS 1.2 public header block: byte-exact pack/unpack.
+
+File-based solutions must "inspect each file header" to prune files for a
+query (Section 2.2) — so the header carries the per-file bounding box,
+point count, format id and the scale/offset that turn stored int32
+coordinates back into world doubles.  The header is exactly 227 bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .spec import POINT_FORMATS, RECORD_LENGTHS
+
+HEADER_SIZE = 227
+_SIGNATURE = b"LASF"
+_STRUCT = struct.Struct(
+    "<4s"  # file signature
+    "H"  # file source id
+    "H"  # global encoding
+    "I H H 8s"  # project GUID
+    "B B"  # version major/minor
+    "32s"  # system identifier
+    "32s"  # generating software
+    "H H"  # creation day of year / year
+    "H"  # header size
+    "I"  # offset to point data
+    "I"  # number of VLRs
+    "B"  # point data format id
+    "H"  # point data record length
+    "I"  # number of point records
+    "5I"  # number of points by return
+    "3d"  # x, y, z scale factors
+    "3d"  # x, y, z offsets
+    "6d"  # max_x min_x max_y min_y max_z min_z
+)
+assert _STRUCT.size == HEADER_SIZE
+
+
+class LasFormatError(IOError):
+    """Raised on malformed or unsupported LAS data."""
+
+
+@dataclass
+class LasHeader:
+    """The fields of a LAS 1.2 public header block."""
+
+    point_format: int = 0
+    n_points: int = 0
+    scale: Tuple[float, float, float] = (0.01, 0.01, 0.01)
+    offset: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    min_xyz: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    max_xyz: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    points_by_return: Tuple[int, ...] = (0, 0, 0, 0, 0)
+    file_source_id: int = 0
+    system_identifier: str = "repro"
+    generating_software: str = "repro.las"
+    creation_day: int = 1
+    creation_year: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.point_format not in POINT_FORMATS:
+            raise LasFormatError(
+                f"unsupported point format {self.point_format} (have 0-3)"
+            )
+        if self.n_points < 0:
+            raise LasFormatError("negative point count")
+        if any(s <= 0 for s in self.scale):
+            raise LasFormatError("scale factors must be positive")
+
+    @property
+    def record_length(self) -> int:
+        return RECORD_LENGTHS[self.point_format]
+
+    @property
+    def offset_to_point_data(self) -> int:
+        return HEADER_SIZE  # no VLRs in this implementation
+
+    def pack(self) -> bytes:
+        """Serialise to the 227-byte header block."""
+        return _STRUCT.pack(
+            _SIGNATURE,
+            self.file_source_id,
+            0,  # global encoding
+            0,
+            0,
+            0,
+            b"\x00" * 8,  # GUID
+            1,
+            2,  # version 1.2
+            self.system_identifier.encode()[:32].ljust(32, b"\x00"),
+            self.generating_software.encode()[:32].ljust(32, b"\x00"),
+            self.creation_day,
+            self.creation_year,
+            HEADER_SIZE,
+            self.offset_to_point_data,
+            0,  # VLR count
+            self.point_format,
+            self.record_length,
+            self.n_points,
+            *self.points_by_return,
+            *self.scale,
+            *self.offset,
+            self.max_xyz[0],
+            self.min_xyz[0],
+            self.max_xyz[1],
+            self.min_xyz[1],
+            self.max_xyz[2],
+            self.min_xyz[2],
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "LasHeader":
+        """Parse a header block; validates signature, version and sizes."""
+        if len(raw) < HEADER_SIZE:
+            raise LasFormatError(
+                f"truncated header: {len(raw)} bytes < {HEADER_SIZE}"
+            )
+        fields = _STRUCT.unpack(raw[:HEADER_SIZE])
+        (
+            signature,
+            file_source_id,
+            _global_encoding,
+            _g1,
+            _g2,
+            _g3,
+            _g4,
+            ver_major,
+            ver_minor,
+            sys_id,
+            software,
+            day,
+            year,
+            header_size,
+            _offset_to_points,
+            n_vlrs,
+            point_format,
+            record_length,
+            n_points,
+            r1,
+            r2,
+            r3,
+            r4,
+            r5,
+            sx,
+            sy,
+            sz,
+            ox,
+            oy,
+            oz,
+            max_x,
+            min_x,
+            max_y,
+            min_y,
+            max_z,
+            min_z,
+        ) = fields
+        if signature != _SIGNATURE:
+            raise LasFormatError(f"not a LAS file (signature {signature!r})")
+        if (ver_major, ver_minor) != (1, 2):
+            raise LasFormatError(
+                f"unsupported LAS version {ver_major}.{ver_minor}"
+            )
+        if header_size != HEADER_SIZE:
+            raise LasFormatError(f"unexpected header size {header_size}")
+        if n_vlrs != 0:
+            raise LasFormatError("variable length records are not supported")
+        if point_format not in POINT_FORMATS:
+            raise LasFormatError(f"unsupported point format {point_format}")
+        if record_length != RECORD_LENGTHS[point_format]:
+            raise LasFormatError(
+                f"record length {record_length} does not match format "
+                f"{point_format}"
+            )
+        return cls(
+            point_format=point_format,
+            n_points=n_points,
+            scale=(sx, sy, sz),
+            offset=(ox, oy, oz),
+            min_xyz=(min_x, min_y, min_z),
+            max_xyz=(max_x, max_y, max_z),
+            points_by_return=(r1, r2, r3, r4, r5),
+            file_source_id=file_source_id,
+            system_identifier=sys_id.rstrip(b"\x00").decode(errors="replace"),
+            generating_software=software.rstrip(b"\x00").decode(errors="replace"),
+            creation_day=day,
+            creation_year=year,
+        )

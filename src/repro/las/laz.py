@@ -1,0 +1,206 @@
+"""A LAZ-like compressed point container.
+
+AHN2 ships as 60,185 **LAZ** files (Section 4): LAS content compressed by
+Rapidlasso's laszip.  This module provides the repo's stand-in: the same
+227-byte LAS header, followed by per-field delta+deflate streams (instead
+of laszip's arithmetic coder).  What matters for the reproduction is the
+cost *structure* — smaller files, but every query must decompress before
+filtering — and that is preserved.
+
+Format::
+
+    LAS header (227 bytes, signature LASF — same as .las)
+    magic  4 bytes  b"RLAZ"
+    nfields u16
+    per field: name_len u16, name bytes, payload_len u64, deflate payload
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .header import HEADER_SIZE, LasFormatError, LasHeader
+from .spec import POINT_FORMATS, pack_classification, pack_flags
+from .writer import _quantize_axis
+
+PathLike = Union[str, Path]
+_MAGIC = b"RLAZ"
+
+
+def _delta_bytes(arr: np.ndarray) -> bytes:
+    """Delta-encode an integer array and deflate it."""
+    as64 = arr.astype(np.int64)
+    deltas = np.empty_like(as64)
+    deltas[0:1] = as64[0:1]
+    deltas[1:] = as64[1:] - as64[:-1]
+    return zlib.compress(deltas.tobytes(), 6)
+
+
+def _undelta_bytes(payload: bytes, count: int, dtype: np.dtype) -> np.ndarray:
+    try:
+        raw = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise LasFormatError(f"corrupt LAZ field payload: {exc}") from None
+    deltas = np.frombuffer(raw, dtype=np.int64)
+    if deltas.shape[0] != count:
+        raise LasFormatError("corrupt LAZ field payload (length mismatch)")
+    return np.cumsum(deltas, dtype=np.int64).astype(dtype)
+
+
+def write_laz(
+    path: PathLike,
+    points: Dict[str, np.ndarray],
+    point_format: int = 3,
+    scale: Tuple[float, float, float] = (0.01, 0.01, 0.01),
+    offset: Optional[Tuple[float, float, float]] = None,
+) -> LasHeader:
+    """Write a compressed point file; mirrors :func:`~.writer.write_las`."""
+    if point_format not in POINT_FORMATS:
+        raise LasFormatError(f"unsupported point format {point_format}")
+    x = np.asarray(points["x"], dtype=np.float64)
+    y = np.asarray(points["y"], dtype=np.float64)
+    z = np.asarray(points["z"], dtype=np.float64)
+    n = x.shape[0]
+    if n == 0:
+        raise LasFormatError("cannot write an empty LAZ file")
+    if offset is None:
+        offset = (
+            float(np.floor(x.min())),
+            float(np.floor(y.min())),
+            float(np.floor(z.min())),
+        )
+
+    dtype = POINT_FORMATS[point_format]
+
+    def get(name: str, default: int = 0) -> np.ndarray:
+        if name in points:
+            return np.asarray(points[name])
+        return np.full(n, default, dtype=np.uint8)
+
+    fields: Dict[str, np.ndarray] = {
+        "X": _quantize_axis(x, scale[0], offset[0], "x"),
+        "Y": _quantize_axis(y, scale[1], offset[1], "y"),
+        "Z": _quantize_axis(z, scale[2], offset[2], "z"),
+        "intensity": get("intensity").astype(np.uint16),
+        "flags": pack_flags(
+            get("return_number", 1),
+            get("number_of_returns", 1),
+            get("scan_direction_flag"),
+            get("edge_of_flight_line"),
+        ),
+        "classification": pack_classification(
+            get("classification"), get("synthetic"), get("key_point"),
+            get("withheld"),
+        ),
+        "scan_angle_rank": np.clip(
+            np.asarray(points.get("scan_angle", np.zeros(n))), -90, 90
+        ).astype(np.int8),
+        "user_data": get("user_data").astype(np.uint8),
+        "point_source_id": get("point_source_id").astype(np.uint16),
+    }
+    if "gps_time" in dtype.names:
+        # Deflate the raw bit patterns of the doubles (lossless).
+        fields["gps_time"] = (
+            np.asarray(points.get("gps_time", np.zeros(n)), dtype=np.float64)
+            .view(np.int64)
+        )
+    if "red" in dtype.names:
+        for channel in ("red", "green", "blue"):
+            fields[channel] = get(channel).astype(np.uint16)
+
+    return_number = get("return_number", 1)
+    by_return = [int((return_number == r).sum()) for r in range(1, 6)]
+    header = LasHeader(
+        point_format=point_format,
+        n_points=n,
+        scale=scale,
+        offset=offset,
+        min_xyz=(
+            float(fields["X"].min() * scale[0] + offset[0]),
+            float(fields["Y"].min() * scale[1] + offset[1]),
+            float(fields["Z"].min() * scale[2] + offset[2]),
+        ),
+        max_xyz=(
+            float(fields["X"].max() * scale[0] + offset[0]),
+            float(fields["Y"].max() * scale[1] + offset[1]),
+            float(fields["Z"].max() * scale[2] + offset[2]),
+        ),
+        points_by_return=tuple(by_return),
+    )
+
+    with open(Path(path), "wb") as fh:
+        fh.write(header.pack())
+        fh.write(_MAGIC)
+        fh.write(len(fields).to_bytes(2, "little"))
+        for name, arr in fields.items():
+            payload = _delta_bytes(arr)
+            name_bytes = name.encode()
+            fh.write(len(name_bytes).to_bytes(2, "little"))
+            fh.write(name_bytes)
+            fh.write(len(payload).to_bytes(8, "little"))
+            fh.write(payload)
+    return header
+
+
+def read_laz(path: PathLike) -> Tuple[LasHeader, Dict[str, np.ndarray]]:
+    """Read a compressed point file back into flat columns."""
+    from .spec import unpack_classification, unpack_flags
+
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise LasFormatError(f"no such LAZ file: {path}") from None
+    header = LasHeader.unpack(raw[:HEADER_SIZE])
+    pos = HEADER_SIZE
+    if raw[pos : pos + 4] != _MAGIC:
+        raise LasFormatError(f"{path}: not a repro-LAZ file (missing RLAZ)")
+    pos += 4
+    nfields = int.from_bytes(raw[pos : pos + 2], "little")
+    pos += 2
+
+    dtype = POINT_FORMATS[header.point_format]
+    fields: Dict[str, np.ndarray] = {}
+    for _ in range(nfields):
+        name_len = int.from_bytes(raw[pos : pos + 2], "little")
+        pos += 2
+        name = raw[pos : pos + name_len].decode()
+        pos += name_len
+        payload_len = int.from_bytes(raw[pos : pos + 8], "little")
+        pos += 8
+        payload = raw[pos : pos + payload_len]
+        if len(payload) != payload_len:
+            raise LasFormatError(f"{path}: truncated LAZ payload")
+        pos += payload_len
+        if name == "gps_time":
+            fields[name] = _undelta_bytes(
+                payload, header.n_points, np.int64
+            ).view(np.float64)
+        else:
+            fields[name] = _undelta_bytes(
+                payload, header.n_points, dtype[name] if name in dtype.names else np.int64
+            )
+
+    sx, sy, sz = header.scale
+    ox, oy, oz = header.offset
+    columns: Dict[str, np.ndarray] = {
+        "x": fields["X"].astype(np.float64) * sx + ox,
+        "y": fields["Y"].astype(np.float64) * sy + oy,
+        "z": fields["Z"].astype(np.float64) * sz + oz,
+        "intensity": fields["intensity"],
+        "scan_angle": fields["scan_angle_rank"].astype(np.int16),
+        "user_data": fields["user_data"],
+        "point_source_id": fields["point_source_id"],
+    }
+    columns.update(unpack_flags(fields["flags"]))
+    columns.update(unpack_classification(fields["classification"]))
+    if "gps_time" in fields:
+        columns["gps_time"] = fields["gps_time"]
+    if "red" in fields:
+        for channel in ("red", "green", "blue"):
+            columns[channel] = fields[channel]
+    return header, columns

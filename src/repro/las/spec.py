@@ -1,0 +1,196 @@
+"""The ASPRS LAS specification subset: point record formats and dimensions.
+
+LAS is "the de-facto standard to store and distribute the acquired data"
+(Section 1).  This module defines:
+
+* the binary layouts of LAS 1.2 point data record formats 0-3 (numpy
+  structured dtypes, byte-exact with the spec), and
+* the **flat-table schema** of the paper's storage model: "a different
+  column is used for storing the X, Y, Z coordinates and the 23 properties
+  of each point" — 26 columns total, covering every attribute of the
+  richest (LAS 1.4 waveform) point format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Raw on-disk record layouts, LAS 1.2 (little endian, packed).
+#: X/Y/Z are scaled int32; `flags` packs return number (3 bits), number of
+#: returns (3), scan direction (1) and edge-of-flight-line (1);
+#: `classification` packs the class (5 bits) + synthetic/key-point/withheld.
+POINT_FORMATS: Dict[int, np.dtype] = {
+    0: np.dtype(
+        [
+            ("X", "<i4"),
+            ("Y", "<i4"),
+            ("Z", "<i4"),
+            ("intensity", "<u2"),
+            ("flags", "u1"),
+            ("classification", "u1"),
+            ("scan_angle_rank", "i1"),
+            ("user_data", "u1"),
+            ("point_source_id", "<u2"),
+        ]
+    ),
+    1: np.dtype(
+        [
+            ("X", "<i4"),
+            ("Y", "<i4"),
+            ("Z", "<i4"),
+            ("intensity", "<u2"),
+            ("flags", "u1"),
+            ("classification", "u1"),
+            ("scan_angle_rank", "i1"),
+            ("user_data", "u1"),
+            ("point_source_id", "<u2"),
+            ("gps_time", "<f8"),
+        ]
+    ),
+    2: np.dtype(
+        [
+            ("X", "<i4"),
+            ("Y", "<i4"),
+            ("Z", "<i4"),
+            ("intensity", "<u2"),
+            ("flags", "u1"),
+            ("classification", "u1"),
+            ("scan_angle_rank", "i1"),
+            ("user_data", "u1"),
+            ("point_source_id", "<u2"),
+            ("red", "<u2"),
+            ("green", "<u2"),
+            ("blue", "<u2"),
+        ]
+    ),
+    3: np.dtype(
+        [
+            ("X", "<i4"),
+            ("Y", "<i4"),
+            ("Z", "<i4"),
+            ("intensity", "<u2"),
+            ("flags", "u1"),
+            ("classification", "u1"),
+            ("scan_angle_rank", "i1"),
+            ("user_data", "u1"),
+            ("point_source_id", "<u2"),
+            ("gps_time", "<f8"),
+            ("red", "<u2"),
+            ("green", "<u2"),
+            ("blue", "<u2"),
+        ]
+    ),
+}
+
+#: Record length in bytes per format (20 / 28 / 26 / 34).
+RECORD_LENGTHS: Dict[int, int] = {
+    fmt: dtype.itemsize for fmt, dtype in POINT_FORMATS.items()
+}
+
+ASPRS_CLASSES: Dict[int, str] = {
+    0: "created",
+    1: "unclassified",
+    2: "ground",
+    3: "low_vegetation",
+    4: "medium_vegetation",
+    5: "high_vegetation",
+    6: "building",
+    7: "low_point",
+    8: "model_key_point",
+    9: "water",
+    12: "overlap",
+}
+
+#: The paper's flat-table schema: x, y, z plus "the 23 properties of each
+#: point" of the current LAS version, one engine column each.
+FLAT_SCHEMA: List[Tuple[str, str]] = [
+    ("x", "float64"),
+    ("y", "float64"),
+    ("z", "float64"),
+    ("intensity", "uint16"),
+    ("return_number", "uint8"),
+    ("number_of_returns", "uint8"),
+    ("scan_direction_flag", "uint8"),
+    ("edge_of_flight_line", "uint8"),
+    ("classification", "uint8"),
+    ("synthetic", "uint8"),
+    ("key_point", "uint8"),
+    ("withheld", "uint8"),
+    ("overlap", "uint8"),
+    ("scanner_channel", "uint8"),
+    ("scan_angle", "int16"),
+    ("user_data", "uint8"),
+    ("point_source_id", "uint16"),
+    ("gps_time", "float64"),
+    ("red", "uint16"),
+    ("green", "uint16"),
+    ("blue", "uint16"),
+    ("nir", "uint16"),
+    ("wave_packet_index", "uint8"),
+    ("wave_byte_offset", "uint64"),
+    ("wave_packet_size", "uint32"),
+    ("wave_return_location", "float32"),
+]
+
+#: Sanity constants quoted in the paper's introduction.
+N_PROPERTIES = len(FLAT_SCHEMA) - 3  # 23 properties excluding X, Y, Z
+assert N_PROPERTIES == 23
+
+FLAT_COLUMN_NAMES = [name for name, _ in FLAT_SCHEMA]
+
+
+# -- bit packing helpers -------------------------------------------------------
+
+
+def pack_flags(
+    return_number: np.ndarray,
+    number_of_returns: np.ndarray,
+    scan_direction_flag: np.ndarray,
+    edge_of_flight_line: np.ndarray,
+) -> np.ndarray:
+    """Pack the four flag fields into the LAS flags byte."""
+    return (
+        (np.asarray(return_number).astype(np.uint8) & 0x07)
+        | ((np.asarray(number_of_returns).astype(np.uint8) & 0x07) << 3)
+        | ((np.asarray(scan_direction_flag).astype(np.uint8) & 0x01) << 6)
+        | ((np.asarray(edge_of_flight_line).astype(np.uint8) & 0x01) << 7)
+    )
+
+
+def unpack_flags(flags: np.ndarray) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`pack_flags`."""
+    flags = np.asarray(flags).astype(np.uint8)
+    return {
+        "return_number": flags & 0x07,
+        "number_of_returns": (flags >> 3) & 0x07,
+        "scan_direction_flag": (flags >> 6) & 0x01,
+        "edge_of_flight_line": (flags >> 7) & 0x01,
+    }
+
+
+def pack_classification(
+    classification: np.ndarray,
+    synthetic: np.ndarray,
+    key_point: np.ndarray,
+    withheld: np.ndarray,
+) -> np.ndarray:
+    """Pack class (5 bits) + synthetic/key-point/withheld flags."""
+    return (
+        (np.asarray(classification).astype(np.uint8) & 0x1F)
+        | ((np.asarray(synthetic).astype(np.uint8) & 0x01) << 5)
+        | ((np.asarray(key_point).astype(np.uint8) & 0x01) << 6)
+        | ((np.asarray(withheld).astype(np.uint8) & 0x01) << 7)
+    )
+
+
+def unpack_classification(byte: np.ndarray) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`pack_classification`."""
+    byte = np.asarray(byte).astype(np.uint8)
+    return {
+        "classification": byte & 0x1F,
+        "synthetic": (byte >> 5) & 0x01,
+        "key_point": (byte >> 6) & 0x01,
+        "withheld": (byte >> 7) & 0x01,
+    }

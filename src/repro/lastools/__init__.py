@@ -1,0 +1,24 @@
+"""The file-based baseline: a LAStools-like toolchain.
+
+* :mod:`repro.lastools.catalog` — per-file bbox pruning (headers vs
+  metadata DB).
+* :mod:`repro.lastools.lasindex` — per-file quadtree of record intervals.
+* :mod:`repro.lastools.lassort` — space-filling-curve file rewrite.
+* :mod:`repro.lastools.clip` — ``lasclip``-style spatial selection.
+"""
+
+from .catalog import CatalogStats, FileCatalog
+from .clip import ClipStats, LasClip
+from .lasindex import LasIndex, lax_path_for
+from .lassort import lasindex_file, lassort
+
+__all__ = [
+    "CatalogStats",
+    "ClipStats",
+    "FileCatalog",
+    "LasClip",
+    "LasIndex",
+    "lasindex_file",
+    "lassort",
+    "lax_path_for",
+]

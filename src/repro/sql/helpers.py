@@ -1,0 +1,62 @@
+"""Session registration helpers for the demo datasets.
+
+Scenario 2 needs the OSM and Urban Atlas bundles as SQL relations; the
+column layout is boilerplate, so it lives here once instead of in every
+example and benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.osm import OsmData
+from ..datasets.urbanatlas import UrbanAtlasData
+from .executor import Relation, Session
+
+
+def register_osm(session: Session, osm: OsmData, prefix: str = "") -> None:
+    """Register ``roads``, ``rivers`` and ``pois`` relations.
+
+    ``prefix`` prepends to the relation names (e.g. ``"osm_"``).
+    """
+    session.register_columns(
+        f"{prefix}roads",
+        {
+            "road_id": np.array([r.road_id for r in osm.roads]),
+            "class": np.array([r.class_code for r in osm.roads]),
+            "name": [r.name for r in osm.roads],
+            "geom": [r.geometry for r in osm.roads],
+        },
+    )
+    session.register_columns(
+        f"{prefix}rivers",
+        {
+            "river_id": np.array([r.river_id for r in osm.rivers]),
+            "name": [r.name for r in osm.rivers],
+            "geom": [r.geometry for r in osm.rivers],
+        },
+    )
+    session.register_columns(
+        f"{prefix}pois",
+        {
+            "poi_id": np.array([p.poi_id for p in osm.pois]),
+            "kind": np.array([p.kind_code for p in osm.pois]),
+            "name": [p.name for p in osm.pois],
+            "geom": [p.geometry for p in osm.pois],
+        },
+    )
+
+
+def register_urban_atlas(
+    session: Session, ua: UrbanAtlasData, name: str = "ua_zones"
+) -> Relation:
+    """Register the land-use zones relation."""
+    return session.register_columns(
+        name,
+        {
+            "zone_id": np.array([z.zone_id for z in ua.zones]),
+            "code": np.array([z.code for z in ua.zones]),
+            "label": [z.label for z in ua.zones],
+            "geom": [z.geometry for z in ua.zones],
+        },
+    )

@@ -1,0 +1,89 @@
+"""Tokeniser for the mini SQL dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on unlexable or unparsable SQL text."""
+
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "group",
+    "order",
+    "by",
+    "limit",
+    "as",
+    "and",
+    "or",
+    "not",
+    "between",
+    "in",
+    "join",
+    "inner",
+    "on",
+    "asc",
+    "desc",
+    "true",
+    "false",
+    "distinct",
+    "having",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+(?:[eE][-+]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/|%)
+  | (?P<punct>[(),.])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | ident | number | string | op | punct | eof
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex SQL text into tokens (keywords lower-cased, strings unquoted)."""
+    if not isinstance(text, str):
+        raise SqlSyntaxError("SQL input must be a string")
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                f"cannot lex SQL at position {pos}: {text[pos:pos + 20]!r}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ws":
+            pos = match.end()
+            continue
+        if kind == "ident":
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, pos))
+            else:
+                tokens.append(Token("ident", value, pos))
+        elif kind == "string":
+            # Strip quotes, collapse doubled quotes.
+            tokens.append(Token("string", value[1:-1].replace("''", "'"), pos))
+        else:
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(Token("eof", "", pos))
+    return tokens

@@ -1,0 +1,284 @@
+"""Recursive-descent parser for the mini SQL dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .lexer import SqlSyntaxError, Token, tokenize
+
+
+class _Cursor:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            got = self.peek()
+            want = value if value is not None else kind
+            raise SqlSyntaxError(
+                f"expected {want!r} at position {got.pos}, got "
+                f"{got.value or got.kind!r}"
+            )
+        return token
+
+
+def parse(text: str) -> ast.Select:
+    """Parse one SELECT statement."""
+    cursor = _Cursor(tokenize(text))
+    select = _parse_select(cursor)
+    if cursor.peek().kind != "eof":
+        token = cursor.peek()
+        raise SqlSyntaxError(
+            f"trailing input at position {token.pos}: {token.value!r}"
+        )
+    return select
+
+
+def _parse_select(c: _Cursor) -> ast.Select:
+    c.expect("keyword", "select")
+    distinct = c.accept("keyword", "distinct") is not None
+    items = [_parse_select_item(c)]
+    while c.accept("punct", ","):
+        items.append(_parse_select_item(c))
+
+    c.expect("keyword", "from")
+    tables = [_parse_table_ref(c)]
+    joins: List[Tuple[ast.TableRef, ast.Node]] = []
+    while True:
+        if c.accept("punct", ","):
+            tables.append(_parse_table_ref(c))
+            continue
+        if c.peek().kind == "keyword" and c.peek().value in ("join", "inner"):
+            if c.accept("keyword", "inner"):
+                c.expect("keyword", "join")
+            else:
+                c.expect("keyword", "join")
+            table = _parse_table_ref(c)
+            c.expect("keyword", "on")
+            joins.append((table, _parse_expr(c)))
+            continue
+        break
+
+    where = None
+    if c.accept("keyword", "where"):
+        where = _parse_expr(c)
+
+    group_by: List[ast.Node] = []
+    if c.accept("keyword", "group"):
+        c.expect("keyword", "by")
+        group_by.append(_parse_expr(c))
+        while c.accept("punct", ","):
+            group_by.append(_parse_expr(c))
+
+    having = None
+    if c.accept("keyword", "having"):
+        if not group_by:
+            raise SqlSyntaxError("HAVING requires GROUP BY")
+        having = _parse_expr(c)
+
+    order_by: List[ast.OrderItem] = []
+    if c.accept("keyword", "order"):
+        c.expect("keyword", "by")
+        order_by.append(_parse_order_item(c))
+        while c.accept("punct", ","):
+            order_by.append(_parse_order_item(c))
+
+    limit = None
+    if c.accept("keyword", "limit"):
+        token = c.expect("number")
+        if "." in token.value or "e" in token.value.lower():
+            raise SqlSyntaxError("LIMIT takes an integer")
+        limit = int(token.value)
+
+    return ast.Select(
+        items=tuple(items),
+        tables=tuple(tables),
+        joins=tuple(joins),
+        where=where,
+        group_by=tuple(group_by),
+        having=having,
+        order_by=tuple(order_by),
+        limit=limit,
+        distinct=distinct,
+    )
+
+
+def _parse_select_item(c: _Cursor) -> ast.SelectItem:
+    if c.accept("op", "*"):
+        return ast.SelectItem(expr=ast.Star())
+    expr = _parse_expr(c)
+    alias = None
+    if c.accept("keyword", "as"):
+        alias = c.expect("ident").value
+    elif c.peek().kind == "ident":
+        alias = c.next().value
+    return ast.SelectItem(expr=expr, alias=alias)
+
+
+def _parse_table_ref(c: _Cursor) -> ast.TableRef:
+    name = c.expect("ident").value
+    alias = None
+    if c.accept("keyword", "as"):
+        alias = c.expect("ident").value
+    elif c.peek().kind == "ident":
+        alias = c.next().value
+    return ast.TableRef(name=name, alias=alias)
+
+
+def _parse_order_item(c: _Cursor) -> ast.OrderItem:
+    expr = _parse_expr(c)
+    descending = False
+    if c.accept("keyword", "desc"):
+        descending = True
+    else:
+        c.accept("keyword", "asc")
+    return ast.OrderItem(expr=expr, descending=descending)
+
+
+# -- expressions (precedence climbing) ------------------------------------------
+
+
+def _parse_expr(c: _Cursor) -> ast.Node:
+    return _parse_or(c)
+
+
+def _parse_or(c: _Cursor) -> ast.Node:
+    node = _parse_and(c)
+    while c.accept("keyword", "or"):
+        node = ast.BinOp("or", node, _parse_and(c))
+    return node
+
+
+def _parse_and(c: _Cursor) -> ast.Node:
+    node = _parse_not(c)
+    while c.accept("keyword", "and"):
+        node = ast.BinOp("and", node, _parse_not(c))
+    return node
+
+
+def _parse_not(c: _Cursor) -> ast.Node:
+    if c.accept("keyword", "not"):
+        return ast.UnaryOp("not", _parse_not(c))
+    return _parse_comparison(c)
+
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def _parse_comparison(c: _Cursor) -> ast.Node:
+    node = _parse_additive(c)
+    token = c.peek()
+    if token.kind == "op" and token.value in _COMPARISONS:
+        c.next()
+        op = "!=" if token.value == "<>" else token.value
+        return ast.BinOp(op, node, _parse_additive(c))
+    negated = False
+    if c.peek().kind == "keyword" and c.peek().value == "not":
+        # Look ahead for NOT BETWEEN / NOT IN.
+        following = c.tokens[c.pos + 1]
+        if following.kind == "keyword" and following.value in ("between", "in"):
+            c.next()
+            negated = True
+    if c.accept("keyword", "between"):
+        low = _parse_additive(c)
+        c.expect("keyword", "and")
+        high = _parse_additive(c)
+        return ast.Between(node, low, high, negated=negated)
+    if c.accept("keyword", "in"):
+        c.expect("punct", "(")
+        options = [_parse_expr(c)]
+        while c.accept("punct", ","):
+            options.append(_parse_expr(c))
+        c.expect("punct", ")")
+        return ast.InList(node, tuple(options), negated=negated)
+    if negated:
+        raise SqlSyntaxError("dangling NOT")
+    return node
+
+
+def _parse_additive(c: _Cursor) -> ast.Node:
+    node = _parse_multiplicative(c)
+    while True:
+        token = c.peek()
+        if token.kind == "op" and token.value in ("+", "-"):
+            c.next()
+            node = ast.BinOp(token.value, node, _parse_multiplicative(c))
+        else:
+            return node
+
+
+def _parse_multiplicative(c: _Cursor) -> ast.Node:
+    node = _parse_unary(c)
+    while True:
+        token = c.peek()
+        if token.kind == "op" and token.value in ("*", "/", "%"):
+            c.next()
+            node = ast.BinOp(token.value, node, _parse_unary(c))
+        else:
+            return node
+
+
+def _parse_unary(c: _Cursor) -> ast.Node:
+    if c.accept("op", "-"):
+        return ast.UnaryOp("-", _parse_unary(c))
+    if c.accept("op", "+"):
+        return _parse_unary(c)
+    return _parse_primary(c)
+
+
+def _parse_primary(c: _Cursor) -> ast.Node:
+    token = c.peek()
+    if token.kind == "number":
+        c.next()
+        text = token.value
+        if "." in text or "e" in text.lower():
+            return ast.Literal(float(text))
+        return ast.Literal(int(text))
+    if token.kind == "string":
+        c.next()
+        return ast.Literal(token.value)
+    if token.kind == "keyword" and token.value in ("true", "false"):
+        c.next()
+        return ast.Literal(token.value == "true")
+    if token.kind == "ident":
+        c.next()
+        name = token.value
+        if c.accept("punct", "("):
+            args: List[ast.Node] = []
+            if c.accept("op", "*"):
+                args.append(ast.Star())
+            elif not (c.peek().kind == "punct" and c.peek().value == ")"):
+                args.append(_parse_expr(c))
+                while c.accept("punct", ","):
+                    args.append(_parse_expr(c))
+            c.expect("punct", ")")
+            return ast.FuncCall(name.lower(), tuple(args))
+        if c.accept("punct", "."):
+            column = c.expect("ident").value
+            return ast.ColumnRef(name=column, table=name)
+        return ast.ColumnRef(name=name)
+    if c.accept("punct", "("):
+        node = _parse_expr(c)
+        c.expect("punct", ")")
+        return node
+    raise SqlSyntaxError(
+        f"unexpected token at position {token.pos}: {token.value or token.kind!r}"
+    )

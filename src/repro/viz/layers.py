@@ -1,0 +1,84 @@
+"""Map layers: styled point, line and polygon collections.
+
+QGIS "allows users to create custom maps that consist of various layers"
+(Section 4); :class:`LayeredMap` is the equivalent composition primitive —
+layers render bottom-up onto one :class:`~repro.viz.raster.Canvas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..gis.envelope import Box
+from ..gis.geometry import LineString, MultiLineString, MultiPolygon, Polygon
+from .raster import Canvas, Color
+
+
+@dataclass
+class PointLayer:
+    """A scatter of points, optionally coloured per point."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    color: Union[Color, np.ndarray] = (30, 30, 30)
+    size: int = 1
+
+    def render(self, canvas: Canvas) -> None:
+        if np.asarray(self.xs).shape[0]:
+            canvas.draw_points(self.xs, self.ys, self.color, self.size)
+
+
+@dataclass
+class LineLayer:
+    """Polylines with one colour (roads of one class, a river...)."""
+
+    lines: Sequence[Union[LineString, MultiLineString]]
+    color: Color = (0, 0, 0)
+
+    def render(self, canvas: Canvas) -> None:
+        for geom in self.lines:
+            parts = geom.lines if isinstance(geom, MultiLineString) else [geom]
+            for line in parts:
+                canvas.draw_polyline(line.coords, self.color)
+
+
+@dataclass
+class PolygonLayer:
+    """Filled polygons (land-use zones)."""
+
+    polygons: Sequence[Union[Polygon, MultiPolygon]]
+    color: Color = (200, 200, 200)
+    outline: Optional[Color] = None
+
+    def render(self, canvas: Canvas) -> None:
+        for geom in self.polygons:
+            parts = (
+                geom.polygons if isinstance(geom, MultiPolygon) else [geom]
+            )
+            for polygon in parts:
+                canvas.fill_polygon(polygon, self.color)
+                if self.outline is not None:
+                    canvas.draw_polyline(polygon.shell, self.outline)
+
+
+@dataclass
+class LayeredMap:
+    """A QGIS-like map: an extent plus bottom-up layers."""
+
+    extent: Box
+    width: int = 512
+    background: Color = (255, 255, 255)
+    layers: List = field(default_factory=list)
+
+    def add(self, layer) -> "LayeredMap":
+        self.layers.append(layer)
+        return self
+
+    def render(self) -> Canvas:
+        canvas = Canvas(self.extent, width=self.width, background=self.background)
+        for layer in self.layers:
+            layer.render(canvas)
+        return canvas

@@ -1,0 +1,146 @@
+"""Figure-level renderers: the paper's two dataset visualisations.
+
+* :func:`render_pointcloud` — Figure 1, "LIDAR point cloud dataset":
+  an elevation-and-class coloured, hillshaded point rendering.
+* :func:`render_basemap` — Figure 2, "Roads, rivers and land cover data
+  from the OpenStreetMap and Urban Atlas datasets": land-use fills with
+  the road/river networks on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..datasets.osm import OsmData
+from ..datasets.urbanatlas import UrbanAtlasData
+from ..gis.envelope import Box
+from .layers import LayeredMap, LineLayer, PointLayer, PolygonLayer
+from .raster import Canvas
+
+#: Fill colours per Urban Atlas code (Figure 2 palette).
+UA_COLORS = {
+    11100: (190, 60, 60),
+    11210: (220, 120, 100),
+    12100: (160, 120, 160),
+    12210: (90, 90, 90),
+    14100: (140, 210, 140),
+    21000: (235, 225, 160),
+    31000: (60, 140, 70),
+    51000: (120, 160, 230),
+}
+
+#: Point colours per ASPRS class (Figure 1 palette).
+CLASS_COLORS = {
+    2: (150, 130, 90),
+    3: (110, 180, 90),
+    4: (80, 160, 70),
+    5: (40, 130, 50),
+    6: (200, 80, 70),
+    9: (90, 130, 220),
+}
+
+
+def _elevation_shade(zs: np.ndarray) -> np.ndarray:
+    """Brightness factor from elevation: higher = brighter (fake
+    hillshade, enough to make relief readable in a still image)."""
+    zs = np.asarray(zs, dtype=np.float64)
+    lo, hi = zs.min(), zs.max()
+    if hi - lo < 1e-9:
+        return np.ones(zs.shape[0])
+    return 0.55 + 0.45 * (zs - lo) / (hi - lo)
+
+
+def render_pointcloud(
+    columns: Dict[str, np.ndarray],
+    extent: Optional[Box] = None,
+    width: int = 512,
+) -> Canvas:
+    """Figure 1: the LIDAR cloud coloured by class, shaded by elevation.
+
+    ``columns`` needs ``x``, ``y``, ``z`` and (optionally)
+    ``classification``.
+    """
+    xs, ys, zs = columns["x"], columns["y"], columns["z"]
+    if extent is None:
+        extent = Box(xs.min(), ys.min(), xs.max(), ys.max())
+    base = np.full((xs.shape[0], 3), 128, dtype=np.float64)
+    if "classification" in columns:
+        for code, color in CLASS_COLORS.items():
+            mask = columns["classification"] == code
+            base[mask] = color
+    shade = _elevation_shade(zs)[:, None]
+    colors = np.clip(base * shade, 0, 255).astype(np.uint8)
+
+    canvas = Canvas(extent, width=width, background=(15, 15, 25))
+    # Draw lowest first so high points (roofs, canopies) stay visible.
+    order = np.argsort(zs)
+    canvas.draw_points(xs[order], ys[order], colors[order])
+    return canvas
+
+
+def render_basemap(
+    osm: Optional[OsmData] = None,
+    urban_atlas: Optional[UrbanAtlasData] = None,
+    extent: Optional[Box] = None,
+    width: int = 512,
+) -> Canvas:
+    """Figure 2: Urban Atlas land cover under the OSM road/river network."""
+    if extent is None:
+        if urban_atlas is not None:
+            extent = urban_atlas.extent
+        elif osm is not None:
+            extent = osm.extent
+        else:
+            raise ValueError("need an extent or at least one dataset")
+
+    road_colors = {
+        "motorway": (220, 60, 30),
+        "primary": (230, 140, 40),
+        "secondary": (120, 120, 120),
+        "residential": (180, 180, 180),
+    }
+
+    world = LayeredMap(extent, width=width, background=(245, 245, 240))
+    if urban_atlas is not None:
+        for zone in urban_atlas.zones:
+            world.add(
+                PolygonLayer(
+                    [zone.geometry],
+                    color=UA_COLORS.get(zone.code, (210, 210, 210)),
+                )
+            )
+    if osm is not None:
+        for road_class in ("residential", "secondary", "primary", "motorway"):
+            roads = [
+                r.geometry for r in osm.roads if r.road_class == road_class
+            ]
+            if roads:
+                world.add(LineLayer(roads, color=road_colors[road_class]))
+        if osm.rivers:
+            world.add(
+                LineLayer([r.geometry for r in osm.rivers], color=(40, 90, 200))
+            )
+        if osm.pois:
+            world.add(
+                PointLayer(
+                    np.array([p.geometry.x for p in osm.pois]),
+                    np.array([p.geometry.y for p in osm.pois]),
+                    color=(20, 20, 20),
+                    size=2,
+                )
+            )
+    return world.render()
+
+
+def render_query_overlay(
+    background: Canvas,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    color=(255, 0, 0),
+) -> Canvas:
+    """Highlight a query's result points on an existing rendering — the
+    demo's visual feedback loop (run query, see the selection light up)."""
+    background.draw_points(xs, ys, color=color, size=1)
+    return background

@@ -1,0 +1,133 @@
+"""Integration tests for the PointCloudDB facade."""
+
+import numpy as np
+import pytest
+
+from repro import Box, PointCloudDB, Polygon
+from repro.datasets.lidar import generate_points, make_scene, write_tile_files
+
+EXTENT = Box(0, 0, 500, 500)
+
+
+@pytest.fixture(scope="module")
+def loaded_db():
+    db = PointCloudDB()
+    db.create_pointcloud("ahn2")
+    scene = make_scene(EXTENT, seed=21)
+    cloud = generate_points(scene, 30_000, seed=21)
+    db.load_points("ahn2", cloud)
+    return db, cloud
+
+
+class TestLifecycle:
+    def test_load_from_las_files(self, tmp_path):
+        paths = write_tile_files(tmp_path, EXTENT, 3000, 2, 2, seed=22)
+        db = PointCloudDB()
+        db.create_pointcloud("pts")
+        stats = db.load_las("pts", paths)
+        assert stats.n_points == 3000
+        assert len(db.table("pts")) == 3000
+
+    def test_save_and_load(self, tmp_path, loaded_db):
+        db, _cloud = loaded_db
+        db.save(tmp_path / "farm")
+        back = PointCloudDB.load(tmp_path / "farm")
+        assert len(back.table("ahn2")) == 30_000
+        hits = back.spatial_select("ahn2", Box(0, 0, 100, 100))
+        assert len(hits) > 0
+
+
+class TestSpatialSelect:
+    def test_box(self, loaded_db):
+        db, cloud = loaded_db
+        result = db.spatial_select("ahn2", Box(100, 100, 200, 200))
+        want = int(
+            (
+                (cloud["x"] >= 100)
+                & (cloud["x"] <= 200)
+                & (cloud["y"] >= 100)
+                & (cloud["y"] <= 200)
+            ).sum()
+        )
+        assert len(result) == want
+
+    def test_polygon(self, loaded_db):
+        db, cloud = loaded_db
+        poly = Polygon([(50, 50), (300, 80), (250, 350), (80, 280)])
+        from repro.gis.predicates import points_satisfy
+
+        result = db.spatial_select("ahn2", poly)
+        want = int(points_satisfy(cloud["x"], cloud["y"], poly).sum())
+        assert len(result) == want
+
+    def test_imprints_shared_across_queries(self, loaded_db):
+        db, _ = loaded_db
+        builds_before = db.manager.builds
+        db.spatial_select("ahn2", Box(0, 0, 50, 50))
+        db.spatial_select("ahn2", Box(50, 50, 100, 100))
+        # At most one build pair (x, y); possibly zero if already built.
+        assert db.manager.builds - builds_before in (0, 2)
+
+
+class TestSqlFacade:
+    def test_count(self, loaded_db):
+        db, _ = loaded_db
+        assert db.sql("SELECT count(*) FROM ahn2").scalar() == 30_000
+
+    def test_spatial_sql(self, loaded_db):
+        db, cloud = loaded_db
+        got = db.sql(
+            "SELECT count(*) FROM ahn2 WHERE "
+            "ST_Contains(ST_MakeEnvelope(0, 0, 250, 250), ST_Point(x, y))"
+        ).scalar()
+        want = int(
+            (
+                (cloud["x"] >= 0)
+                & (cloud["x"] <= 250)
+                & (cloud["y"] >= 0)
+                & (cloud["y"] <= 250)
+            ).sum()
+        )
+        assert got == want
+
+    def test_vector_relation_join(self, loaded_db):
+        db, _ = loaded_db
+        db.register_vector(
+            "zones",
+            {
+                "code": np.array([12210]),
+                "geom": [Polygon([(0, 0), (100, 0), (100, 100), (0, 100)])],
+            },
+        )
+        got = db.sql(
+            "SELECT count(*) FROM ahn2 a, zones z WHERE "
+            "z.code = 12210 AND ST_Contains(z.geom, ST_Point(a.x, a.y))"
+        ).scalar()
+        direct = len(db.spatial_select("ahn2", Box(0, 0, 100, 100)))
+        assert got == direct
+
+    def test_sql_sees_appended_points(self, loaded_db):
+        db, _ = loaded_db
+        before = db.sql("SELECT count(*) FROM ahn2").scalar()
+        batch = {
+            name: np.zeros(1, dtype=db.table("ahn2").column(name).dtype)
+            for name in db.table("ahn2").column_names
+        }
+        db.load_points("ahn2", batch)
+        after = db.sql("SELECT count(*) FROM ahn2").scalar()
+        assert after == before + 1
+
+
+class TestStorageReport:
+    def test_report_shapes(self, loaded_db):
+        db, _ = loaded_db
+        db.spatial_select("ahn2", Box(0, 0, 10, 10))  # force imprints
+        report = db.storage_report()
+        assert "ahn2" in report
+        entry = report["ahn2"]
+        assert entry["column_bytes"] > 0
+        assert entry["imprint_bytes"] > 0
+        # The headline overhead claim: imprints on x+y are a small
+        # fraction of the x+y column bytes (5-12% per indexed column).
+        xy_bytes = 2 * entry["rows"] * 8
+        assert entry["imprint_bytes"] < 0.3 * xy_bytes

@@ -1,0 +1,196 @@
+"""Tests for the block-storage (PostgreSQL-pointcloud-like) baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockstore.patch import build_patch
+from repro.blockstore.rtree import RTree
+from repro.blockstore.store import BlockStore
+from repro.gis.envelope import Box
+from repro.gis.geometry import LineString, Polygon
+from repro.gis.predicates import points_satisfy
+
+
+def make_columns(n=10_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "x": rng.uniform(0, 100, n),
+        "y": rng.uniform(0, 100, n),
+        "z": rng.normal(5, 2, n),
+        "intensity": rng.integers(0, 4000, n).astype(np.uint16),
+    }
+
+
+class TestPatch:
+    def test_round_trip(self):
+        cols = make_columns(n=500)
+        patch = build_patch(0, cols)
+        back = patch.decompress()
+        for name in cols:
+            np.testing.assert_array_equal(back[name], cols[name])
+
+    def test_bbox_tight(self):
+        cols = make_columns(n=100, seed=1)
+        patch = build_patch(0, cols)
+        assert patch.bbox.xmin == cols["x"].min()
+        assert patch.bbox.ymax == cols["y"].max()
+
+    def test_partial_decompress(self):
+        patch = build_patch(0, make_columns(n=100))
+        out = patch.decompress(["z"])
+        assert list(out) == ["z"]
+
+    def test_unknown_dimension(self):
+        patch = build_patch(0, make_columns(n=10))
+        with pytest.raises(KeyError):
+            patch.decompress(["bogus"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_patch(0, {"x": np.empty(0), "y": np.empty(0)})
+
+    def test_nbytes_positive(self):
+        patch = build_patch(0, make_columns(n=100))
+        assert 0 < patch.nbytes
+
+
+class TestRTree:
+    def _grid_boxes(self, n=10):
+        return [
+            Box(i * 10, j * 10, i * 10 + 9, j * 10 + 9)
+            for j in range(n)
+            for i in range(n)
+        ]
+
+    def test_query_matches_linear_scan(self):
+        boxes = self._grid_boxes()
+        tree = RTree(boxes)
+        query = Box(15, 15, 38, 22)
+        got = tree.query(query)
+        want = [i for i, b in enumerate(boxes) if b.intersects(query)]
+        assert got == want
+
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert tree.query(Box(0, 0, 1, 1)) == []
+        assert tree.height == 0
+
+    def test_single_entry(self):
+        tree = RTree([Box(0, 0, 1, 1)])
+        assert tree.query(Box(0.5, 0.5, 2, 2)) == [0]
+        assert tree.query(Box(5, 5, 6, 6)) == []
+
+    def test_capacity_respected(self):
+        tree = RTree(self._grid_boxes(), node_capacity=4)
+        assert tree.height >= 3
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RTree([], node_capacity=1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        n=st.integers(0, 120),
+        cap=st.sampled_from([2, 4, 16]),
+    )
+    def test_random_boxes_match_scan(self, seed, n, cap):
+        rng = np.random.default_rng(seed)
+        boxes = []
+        for _ in range(n):
+            x0, y0 = rng.uniform(0, 90, 2)
+            boxes.append(Box(x0, y0, x0 + rng.uniform(0, 10), y0 + rng.uniform(0, 10)))
+        tree = RTree(boxes, node_capacity=cap)
+        q0x, q0y = rng.uniform(0, 80, 2)
+        query = Box(q0x, q0y, q0x + 20, q0y + 20)
+        want = [i for i, b in enumerate(boxes) if b.intersects(query)]
+        assert tree.query(query) == want
+
+
+class TestBlockStore:
+    @pytest.fixture(scope="class")
+    def store(self):
+        store = BlockStore(patch_size=512, sort="morton")
+        store.load(make_columns(seed=3))
+        return store
+
+    @pytest.fixture(scope="class")
+    def columns(self):
+        return make_columns(seed=3)
+
+    def _brute(self, columns, geometry, predicate="contains", distance=0.0):
+        mask = points_satisfy(columns["x"], columns["y"], geometry, predicate, distance)
+        return np.sort(columns["x"][mask])
+
+    def test_load_stats(self, store):
+        assert store.n_points == 10_000
+        assert len(store.patches) == int(np.ceil(10_000 / 512))
+        assert store.nbytes > 0
+
+    def test_box_query_matches_brute_force(self, store, columns):
+        query = Box(20, 20, 50, 45)
+        out, stats = store.query(query)
+        np.testing.assert_allclose(np.sort(out["x"]), self._brute(columns, query))
+        assert stats.patches_candidate <= stats.patches_total
+
+    def test_polygon_query_matches_brute_force(self, store, columns):
+        poly = Polygon([(10, 10), (80, 20), (60, 80), (15, 70)])
+        out, _stats = store.query(poly)
+        np.testing.assert_allclose(np.sort(out["x"]), self._brute(columns, poly))
+
+    def test_dwithin_query_matches_brute_force(self, store, columns):
+        line = LineString([(0, 50), (100, 55)])
+        out, _stats = store.query(line, "dwithin", distance=4.0)
+        np.testing.assert_allclose(
+            np.sort(out["x"]), self._brute(columns, line, "dwithin", 4.0)
+        )
+
+    def test_rtree_prunes(self, store):
+        _out, stats = store.query(Box(0, 0, 10, 10))
+        assert stats.patches_candidate < stats.patches_total
+
+    def test_inside_patches_skip_tests(self, store):
+        _out, stats = store.query(Box(5, 5, 95, 95))
+        assert stats.patches_inside > 0
+        assert stats.points_tested < stats.points_decompressed
+
+    def test_extra_dimension(self, store):
+        out, _stats = store.query(
+            Box(0, 0, 100, 100), dimensions=["x", "y", "intensity"]
+        )
+        assert out["intensity"].shape == out["x"].shape
+
+    def test_unknown_dimension(self, store):
+        with pytest.raises(KeyError):
+            store.query(Box(0, 0, 1, 1), dimensions=["bogus"])
+
+    def test_query_before_load(self):
+        with pytest.raises(RuntimeError):
+            BlockStore().query(Box(0, 0, 1, 1))
+
+    def test_sorting_shrinks_storage(self):
+        cols = make_columns(n=20_000, seed=4)
+        unsorted_store = BlockStore(patch_size=1024, sort=None)
+        sorted_store = BlockStore(patch_size=1024, sort="hilbert")
+        unsorted_store.load(cols)
+        sorted_store.load(cols)
+        # Spatial order -> smaller deltas -> better compression (Section 2.3).
+        assert sorted_store.nbytes < unsorted_store.nbytes
+
+    def test_unsorted_store_still_correct(self):
+        cols = make_columns(n=5000, seed=5)
+        store = BlockStore(patch_size=256, sort=None)
+        store.load(cols)
+        poly = Polygon([(10, 10), (90, 15), (50, 90)])
+        out, _stats = store.query(poly)
+        np.testing.assert_allclose(np.sort(out["x"]), self._brute(cols, poly))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            BlockStore(patch_size=0)
+        with pytest.raises(ValueError):
+            BlockStore(sort="peano")
+        with pytest.raises(ValueError):
+            BlockStore().load({"x": np.empty(0), "y": np.empty(0)})

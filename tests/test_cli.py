@@ -1,0 +1,186 @@
+"""End-to-end tests for the repro-gis command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def tile_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli_tiles")
+    code = main(
+        [
+            "generate",
+            "--points",
+            "5000",
+            "--tiles",
+            "2",
+            "--seed",
+            "3",
+            "--out",
+            str(directory),
+        ]
+    )
+    assert code == 0
+    return directory
+
+
+@pytest.fixture(scope="module")
+def db_dir(tmp_path_factory, tile_dir):
+    directory = tmp_path_factory.mktemp("cli_db")
+    code = main(["load", str(tile_dir), "--db", str(directory)])
+    assert code == 0
+    return directory
+
+
+class TestGenerateInfo:
+    def test_generate_wrote_tiles(self, tile_dir):
+        assert len(list(tile_dir.glob("*.las"))) == 4
+
+    def test_generate_laz(self, tmp_path):
+        code = main(
+            [
+                "generate",
+                "--points",
+                "1000",
+                "--tiles",
+                "1",
+                "--laz",
+                "--out",
+                str(tmp_path / "laz_tiles"),
+            ]
+        )
+        assert code == 0
+        assert len(list((tmp_path / "laz_tiles").glob("*.laz"))) == 1
+
+    def test_info(self, tile_dir, capsys):
+        assert main(["info", str(tile_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "total: 4 files, 5000 points" in out
+
+    def test_info_empty_dir(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path)]) == 1
+
+    def test_info_wgs84(self, tile_dir, capsys):
+        assert main(["info", str(tile_dir), "--wgs84"]) == 0
+        out = capsys.readouterr().out
+        assert "WGS84 bounds" in out
+        # The test extent (RD 85-87 km E, 445-447 km N) maps near
+        # (52.0 N, 4.4 E) — the Delft area.
+        assert "(51.9" in out or "(52.0" in out
+
+
+class TestLoadQuerySql:
+    def test_load_persists(self, db_dir):
+        assert (db_dir / "points" / "schema.json").exists()
+
+    def test_query(self, db_dir, capsys):
+        code = main(
+            [
+                "query",
+                str(db_dir),
+                "--wkt",
+                "POLYGON ((85000 445000, 87000 445000, 87000 447000,"
+                " 85000 447000, 85000 445000))",
+                "--show",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5000 points" in out
+
+    def test_query_dwithin(self, db_dir, capsys):
+        code = main(
+            [
+                "query",
+                str(db_dir),
+                "--wkt",
+                "LINESTRING (85000 446000, 87000 446000)",
+                "--predicate",
+                "dwithin",
+                "--distance",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "points in" in capsys.readouterr().out
+
+    def test_query_bad_wkt(self, db_dir, capsys):
+        assert main(["query", str(db_dir), "--wkt", "NONSENSE (1 2)"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sql(self, db_dir, capsys):
+        code = main(["sql", str(db_dir), "SELECT count(*) FROM points"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5000" in out
+
+    def test_sql_group_by_limit(self, db_dir, capsys):
+        code = main(
+            [
+                "sql",
+                str(db_dir),
+                "SELECT classification, count(*) FROM points "
+                "GROUP BY classification ORDER BY 2 DESC",
+                "--limit",
+                "2",
+            ]
+        )
+        assert code == 0
+
+    def test_sql_error(self, db_dir, capsys):
+        assert main(["sql", str(db_dir), "SELECT FROM nothing"]) == 1
+
+    def test_sql_explain(self, db_dir, capsys):
+        code = main(
+            [
+                "sql",
+                str(db_dir),
+                "SELECT count(*) FROM points WHERE z BETWEEN 0 AND 5",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "range filter via imprint on 'z'" in out
+
+
+class TestToolCommands:
+    def test_sort(self, tile_dir, tmp_path, capsys):
+        src = sorted(tile_dir.glob("*.las"))[0]
+        dst = tmp_path / "sorted.las"
+        code = main(["sort", str(src), str(dst), "--curve", "hilbert"])
+        assert code == 0
+        assert dst.exists()
+
+    def test_index(self, tile_dir, capsys):
+        code = main(["index", str(tile_dir), "--leaf-capacity", "500"])
+        assert code == 0
+        assert len(list(tile_dir.glob("*.lax"))) == 4
+
+    def test_render(self, tile_dir, tmp_path, capsys):
+        out = tmp_path / "render.ppm"
+        code = main(["render", str(tile_dir), str(out), "--width", "64"])
+        assert code == 0
+        assert out.exists()
+        assert out.read_bytes().startswith(b"P6")
+
+    def test_render_empty(self, tmp_path):
+        assert main(["render", str(tmp_path), str(tmp_path / "x.ppm")]) == 1
+
+    def test_elevation(self, tile_dir, tmp_path, capsys):
+        out = tmp_path / "elev"
+        code = main(
+            ["elevation", str(tile_dir), "--out", str(out), "--cell", "50"]
+        )
+        assert code == 0
+        for name in ("dsm.pgm", "dtm.pgm", "chm.pgm", "hillshade.ppm"):
+            assert (out / name).exists()
+
+    def test_elevation_empty(self, tmp_path):
+        assert (
+            main(["elevation", str(tmp_path), "--out", str(tmp_path / "o")])
+            == 1
+        )

@@ -1,0 +1,114 @@
+"""Tests for the 3-D (z-range) extension of SpatialSelect."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import SpatialSelect
+from repro.engine.table import Table
+from repro.gis.envelope import Box
+from repro.gis.geometry import Polygon
+
+
+def make_cloud(n=10_000, seed=0):
+    rng = np.random.default_rng(seed)
+    table = Table("pts", [("x", "float64"), ("y", "float64"), ("z", "float64")])
+    table.append_columns(
+        {
+            "x": rng.uniform(0, 100, n),
+            "y": rng.uniform(0, 100, n),
+            "z": rng.uniform(-10, 50, n),
+        }
+    )
+    return table
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return make_cloud()
+
+
+@pytest.fixture(scope="module")
+def select(cloud):
+    return SpatialSelect(cloud)
+
+
+def reference(cloud, box, zmin, zmax):
+    xs = cloud.column("x").values
+    ys = cloud.column("y").values
+    zs = cloud.column("z").values
+    return np.flatnonzero(
+        (xs >= box.xmin)
+        & (xs <= box.xmax)
+        & (ys >= box.ymin)
+        & (ys <= box.ymax)
+        & (zs >= zmin)
+        & (zs <= zmax)
+    )
+
+
+class TestZRange:
+    def test_3d_box_matches_reference(self, cloud, select):
+        box = Box(20, 20, 60, 70)
+        got = select.query(box, z_range=(0.0, 10.0))
+        np.testing.assert_array_equal(got.oids, reference(cloud, box, 0, 10))
+
+    def test_zrange_with_polygon(self, cloud, select):
+        poly = Polygon([(10, 10), (80, 20), (50, 90)])
+        got = select.query(poly, z_range=(5.0, 25.0))
+        scan = select.query_scan(poly)
+        zs = cloud.column("z").values
+        want = scan[(zs[scan] >= 5.0) & (zs[scan] <= 25.0)]
+        np.testing.assert_array_equal(np.sort(got.oids), np.sort(want))
+
+    def test_zrange_without_imprints_matches(self, cloud, select):
+        box = Box(0, 0, 50, 50)
+        a = select.query(box, z_range=(0, 20), use_imprints=True)
+        b = select.query(box, z_range=(0, 20), use_imprints=False)
+        np.testing.assert_array_equal(np.sort(a.oids), np.sort(b.oids))
+
+    def test_zrange_builds_z_imprint(self, cloud):
+        sel = SpatialSelect(cloud)
+        sel.query(Box(0, 0, 100, 100), z_range=(0, 10))
+        assert sel.manager.get(cloud, "z") is not None
+
+    def test_empty_slab(self, select):
+        got = select.query(Box(0, 0, 100, 100), z_range=(1000, 2000))
+        assert len(got) == 0
+
+    def test_custom_z_column(self):
+        rng = np.random.default_rng(3)
+        table = Table(
+            "pc", [("x", "float64"), ("y", "float64"), ("height", "float64")]
+        )
+        table.append_columns(
+            {
+                "x": rng.uniform(0, 10, 500),
+                "y": rng.uniform(0, 10, 500),
+                "height": rng.uniform(0, 5, 500),
+            }
+        )
+        sel = SpatialSelect(table)
+        got = sel.query(
+            Box(0, 0, 10, 10), z_column="height", z_range=(1.0, 2.0)
+        )
+        heights = table.column("height").take(got.oids)
+        assert ((heights >= 1.0) & (heights <= 2.0)).all()
+        assert len(got) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    zmin=st.floats(-20, 60),
+    span=st.floats(0, 40),
+)
+def test_3d_query_equals_reference(seed, zmin, span):
+    cloud = make_cloud(n=1500, seed=seed)
+    sel = SpatialSelect(cloud)
+    box = Box(25, 25, 75, 75)
+    got = sel.query(box, z_range=(zmin, zmin + span))
+    np.testing.assert_array_equal(
+        np.sort(got.oids), reference(cloud, box, zmin, zmin + span)
+    )

@@ -1,0 +1,166 @@
+"""Tests for elevation products (DSM/DTM/CHM, hillshade)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rasterize import (
+    ElevationGrid,
+    chm,
+    dsm,
+    dtm,
+    hillshade,
+    rasterize,
+)
+from repro.datasets.lidar import (
+    CLASS_BUILDING,
+    CLASS_GROUND,
+    generate_points,
+    make_scene,
+)
+from repro.gis.envelope import Box
+
+EXTENT = Box(0, 0, 100, 100)
+
+
+class TestRasterize:
+    def test_grid_shape_from_cell_size(self):
+        xs = np.array([5.0])
+        grid = rasterize(xs, xs, xs, EXTENT, cell_size=10.0)
+        assert grid.shape == (10, 10)
+        assert grid.cell_size == (10.0, 10.0)
+
+    def test_max_aggregation(self):
+        xs = np.array([5.0, 5.0, 55.0])
+        ys = np.array([5.0, 5.0, 55.0])
+        zs = np.array([1.0, 9.0, 4.0])
+        grid = rasterize(xs, ys, zs, EXTENT, 10.0, how="max")
+        assert grid.values[0, 0] == 9.0
+        assert grid.values[5, 5] == 4.0
+
+    def test_min_and_mean(self):
+        xs = np.array([5.0, 5.0])
+        ys = np.array([5.0, 5.0])
+        zs = np.array([2.0, 6.0])
+        assert rasterize(xs, ys, zs, EXTENT, 10.0, how="min").values[0, 0] == 2.0
+        assert rasterize(xs, ys, zs, EXTENT, 10.0, how="mean").values[0, 0] == 4.0
+
+    def test_empty_cells_are_nan(self):
+        xs = np.array([5.0])
+        grid = rasterize(xs, xs, xs, EXTENT, 10.0)
+        assert np.isnan(grid.values[9, 9])
+        assert grid.coverage == pytest.approx(1 / 100)
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ValueError):
+            rasterize(np.array([1.0]), np.array([1.0]), np.array([1.0]), EXTENT, 0)
+
+    def test_unknown_aggregation(self):
+        with pytest.raises(ValueError):
+            rasterize(
+                np.array([1.0]),
+                np.array([1.0]),
+                np.array([1.0]),
+                EXTENT,
+                10.0,
+                how="median",
+            )
+
+    def test_row0_is_south(self):
+        grid = rasterize(
+            np.array([5.0]), np.array([95.0]), np.array([7.0]), EXTENT, 10.0
+        )
+        assert grid.values[9, 0] == 7.0  # north row is the last
+
+
+class TestFillAndDiff:
+    def test_hole_filling(self):
+        values = np.full((5, 5), np.nan)
+        values[2, 2] = 10.0
+        grid = ElevationGrid(values=values, extent=EXTENT).filled(iterations=1)
+        assert grid.values[2, 3] == 10.0
+        assert np.isnan(grid.values[0, 0])  # too far for one pass
+
+    def test_fill_converges(self):
+        values = np.full((5, 5), np.nan)
+        values[0, 0] = 3.0
+        grid = ElevationGrid(values=values, extent=EXTENT).filled(iterations=10)
+        assert np.isfinite(grid.values).all()
+
+    def test_minus_shape_mismatch(self):
+        a = ElevationGrid(np.zeros((2, 2)), EXTENT)
+        b = ElevationGrid(np.zeros((3, 3)), EXTENT)
+        with pytest.raises(ValueError):
+            a.minus(b)
+
+
+class TestElevationModels:
+    @pytest.fixture(scope="class")
+    def cloud(self):
+        scene = make_scene(EXTENT, seed=9, n_buildings=25)
+        return generate_points(scene, 60_000, seed=9)
+
+    def test_dsm_above_dtm(self, cloud):
+        surface = dsm(cloud["x"], cloud["y"], cloud["z"], EXTENT, 5.0)
+        terrain = dtm(
+            cloud["x"], cloud["y"], cloud["z"], cloud["classification"], EXTENT, 5.0
+        )
+        both = np.isfinite(surface.values) & np.isfinite(terrain.values)
+        assert both.any()
+        # The surface envelope dominates the terrain almost everywhere
+        # (tiny inversions possible where DTM is interpolated).
+        frac_above = (
+            surface.values[both] >= terrain.values[both] - 0.5
+        ).mean()
+        assert frac_above > 0.95
+
+    def test_chm_positive_over_canopy(self, cloud):
+        canopy = chm(
+            cloud["x"], cloud["y"], cloud["z"], cloud["classification"], EXTENT, 5.0
+        )
+        finite = canopy.values[np.isfinite(canopy.values)]
+        assert (finite >= 0).all()
+        assert finite.max() > 3.0  # trees/buildings stick out
+
+    def test_dsm_catches_buildings(self, cloud):
+        surface = dsm(cloud["x"], cloud["y"], cloud["z"], EXTENT, 5.0)
+        bld = cloud["classification"] == CLASS_BUILDING
+        gnd = cloud["classification"] == CLASS_GROUND
+        if bld.any() and gnd.any():
+            assert np.nanmax(surface.values) >= cloud["z"][bld].max() - 0.01
+
+
+class TestHillshade:
+    def test_flat_surface_constant(self):
+        grid = ElevationGrid(np.zeros((10, 10)), EXTENT)
+        shade = hillshade(grid)
+        assert np.allclose(shade, shade[0, 0])
+        assert 0.0 <= shade[0, 0] <= 1.0
+
+    def test_slope_orientation(self):
+        # Values drop west->east: an east-facing slope.  A sun in the east
+        # (azimuth 90) must light it more than its west-facing mirror,
+        # and vice versa for a western sun.
+        east_facing = ElevationGrid(
+            np.tile(np.linspace(10, 0, 20), (20, 1)), EXTENT
+        )
+        west_facing = ElevationGrid(east_facing.values[:, ::-1], EXTENT)
+        assert (
+            hillshade(east_facing, azimuth_deg=90).mean()
+            > hillshade(west_facing, azimuth_deg=90).mean()
+        )
+        assert (
+            hillshade(west_facing, azimuth_deg=270).mean()
+            > hillshade(east_facing, azimuth_deg=270).mean()
+        )
+
+    def test_nan_cells_neutral(self):
+        values = np.zeros((5, 5))
+        values[2, 2] = np.nan
+        shade = hillshade(ElevationGrid(values, EXTENT))
+        assert shade[2, 2] == 0.5
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        grid = ElevationGrid(rng.uniform(0, 50, (30, 30)), EXTENT)
+        shade = hillshade(grid)
+        assert shade.min() >= 0.0 and shade.max() <= 1.0

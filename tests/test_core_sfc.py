@@ -1,0 +1,146 @@
+"""Unit and property tests for repro.core.sfc (Morton + Hilbert curves)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sfc import (
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+    quantize,
+    sort_order,
+)
+
+
+class TestQuantize:
+    def test_maps_range_to_cells(self):
+        cells = quantize(np.array([0.0, 50.0, 100.0]), 0.0, 100.0, order=4)
+        assert cells[0] == 0
+        assert cells[1] == 8
+        assert cells[2] == 15  # upper bound clips into last cell
+
+    def test_out_of_range_clipped(self):
+        cells = quantize(np.array([-10.0, 110.0]), 0.0, 100.0, order=4)
+        assert cells.tolist() == [0, 15]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([1.0]), 5.0, 5.0)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([1.0]), 0.0, 1.0, order=0)
+
+
+class TestMorton:
+    def test_known_codes(self):
+        # Classic 2x2 Z pattern: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3
+        x = np.array([0, 1, 0, 1])
+        y = np.array([0, 0, 1, 1])
+        assert morton_encode(x, y, order=1).tolist() == [0, 1, 2, 3]
+
+    def test_interleaving(self):
+        assert morton_encode(np.array([3]), np.array([5]), order=3)[0] == 0b100111
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([4]), np.array([0]), order=2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([1, 2]), np.array([1]), order=4)
+
+
+class TestHilbert:
+    def test_known_order1(self):
+        # Order-1 Hilbert visits (0,0) (0,1) (1,1) (1,0).
+        x = np.array([0, 0, 1, 1])
+        y = np.array([0, 1, 1, 0])
+        assert hilbert_encode(x, y, order=1).tolist() == [0, 1, 2, 3]
+
+    def test_curve_is_a_bijection(self):
+        order = 4
+        n = 1 << order
+        xx, yy = np.meshgrid(np.arange(n), np.arange(n))
+        codes = hilbert_encode(xx.ravel(), yy.ravel(), order=order)
+        assert np.unique(codes).shape[0] == n * n
+        assert codes.min() == 0 and codes.max() == n * n - 1
+
+    def test_curve_is_continuous(self):
+        """Consecutive Hilbert codes are 4-adjacent cells — the locality
+        property that makes Hilbert-sorted blocks compress well."""
+        order = 5
+        codes = np.arange((1 << order) ** 2, dtype=np.uint64)
+        x, y = hilbert_decode(codes, order=order)
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert (steps == 1).all()
+
+    def test_morton_is_not_continuous(self):
+        """Contrast: Z-order jumps; documents why Hilbert exists."""
+        order = 5
+        codes = np.arange((1 << order) ** 2, dtype=np.uint64)
+        x, y = morton_decode(codes, order=order)
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert steps.max() > 1
+
+
+class TestSortOrder:
+    def test_permutation(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 100, 500)
+        y = rng.uniform(0, 100, 500)
+        for curve in ("morton", "hilbert"):
+            perm = sort_order(x, y, 0, 100, 0, 100, curve=curve)
+            assert np.sort(perm).tolist() == list(range(500))
+
+    def test_sorted_points_cluster(self):
+        """After SFC sort, consecutive points are spatially close on average."""
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 100, 2000)
+        y = rng.uniform(0, 100, 2000)
+        perm = sort_order(x, y, 0, 100, 0, 100, curve="hilbert")
+        xs, ys = x[perm], y[perm]
+        sorted_step = np.hypot(np.diff(xs), np.diff(ys)).mean()
+        raw_step = np.hypot(np.diff(x), np.diff(y)).mean()
+        assert sorted_step < raw_step / 5
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError):
+            sort_order(np.array([1.0]), np.array([1.0]), 0, 10, 0, 10, curve="peano")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cells=st.lists(
+        st.tuples(st.integers(0, (1 << 12) - 1), st.integers(0, (1 << 12) - 1)),
+        min_size=1,
+        max_size=100,
+    ),
+    order=st.sampled_from([12, 16, 20]),
+)
+def test_morton_round_trip(cells, order):
+    x = np.array([c[0] for c in cells], dtype=np.int64)
+    y = np.array([c[1] for c in cells], dtype=np.int64)
+    dx, dy = morton_decode(morton_encode(x, y, order), order)
+    np.testing.assert_array_equal(dx, x)
+    np.testing.assert_array_equal(dy, y)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cells=st.lists(
+        st.tuples(st.integers(0, (1 << 10) - 1), st.integers(0, (1 << 10) - 1)),
+        min_size=1,
+        max_size=100,
+    ),
+    order=st.sampled_from([10, 12, 16]),
+)
+def test_hilbert_round_trip(cells, order):
+    x = np.array([c[0] for c in cells], dtype=np.int64)
+    y = np.array([c[1] for c in cells], dtype=np.int64)
+    dx, dy = hilbert_decode(hilbert_encode(x, y, order), order)
+    np.testing.assert_array_equal(dx, x)
+    np.testing.assert_array_equal(dy, y)

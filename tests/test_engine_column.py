@@ -1,0 +1,107 @@
+"""Unit tests for repro.engine.column."""
+
+import numpy as np
+import pytest
+
+from repro.engine.column import Column, ColumnTypeError, resolve_type
+
+
+class TestResolveType:
+    def test_known_names(self):
+        assert resolve_type("float64") == np.dtype(np.float64)
+        assert resolve_type("uint16") == np.dtype(np.uint16)
+
+    def test_numpy_dtype_passthrough(self):
+        assert resolve_type(np.dtype(np.int32)) == np.dtype(np.int32)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ColumnTypeError):
+            resolve_type("varchar")
+
+    def test_unsupported_dtype_raises(self):
+        with pytest.raises(ColumnTypeError):
+            resolve_type(np.dtype("complex128"))
+
+
+class TestColumnBasics:
+    def test_empty_column(self):
+        col = Column("x", "float64")
+        assert len(col) == 0
+        assert col.nbytes == 0
+        assert col.values.shape == (0,)
+
+    def test_append_returns_first_oid(self):
+        col = Column("x", "int64")
+        assert col.append([1, 2, 3]) == 0
+        assert col.append([4]) == 3
+        assert list(col.values) == [1, 2, 3, 4]
+
+    def test_append_scalar(self):
+        col = Column("x", "int64")
+        col.append(7)
+        assert list(col.values) == [7]
+
+    def test_initial_data(self):
+        col = Column("x", "float64", data=[1.5, 2.5])
+        assert list(col.values) == [1.5, 2.5]
+
+    def test_from_array_copies(self):
+        arr = np.array([1, 2, 3], dtype=np.int32)
+        col = Column.from_array("a", arr)
+        arr[0] = 99
+        assert col.values[0] == 1
+        assert col.type_name == "int32"
+
+    def test_growth_beyond_initial_capacity(self):
+        col = Column("x", "int32")
+        for batch_start in range(0, 5000, 100):
+            col.append(np.arange(batch_start, batch_start + 100, dtype=np.int32))
+        assert len(col) == 5000
+        np.testing.assert_array_equal(col.values, np.arange(5000, dtype=np.int32))
+
+    def test_values_view_is_readonly(self):
+        col = Column("x", "int64", data=[1, 2])
+        with pytest.raises(ValueError):
+            col.values[0] = 5
+
+    def test_nbytes(self):
+        col = Column("x", "float64", data=np.zeros(10))
+        assert col.nbytes == 80
+
+
+class TestColumnTyping:
+    def test_safe_cast_int_to_wider(self):
+        col = Column("x", "int64")
+        col.append(np.array([1, 2], dtype=np.int32))
+        assert col.values.dtype == np.int64
+
+    def test_reject_float_into_int(self):
+        col = Column("x", "int32")
+        with pytest.raises(ColumnTypeError):
+            col.append(np.array([1.5, 2.5]))
+
+    def test_reject_2d(self):
+        col = Column("x", "int32")
+        with pytest.raises(ColumnTypeError):
+            col.append(np.zeros((2, 2), dtype=np.int32))
+
+    def test_int_into_float_is_allowed(self):
+        col = Column("x", "float64")
+        col.append(np.array([1, 2], dtype=np.int32))
+        assert col.values.dtype == np.float64
+
+
+class TestColumnAccess:
+    def test_take(self):
+        col = Column("x", "int64", data=[10, 20, 30, 40])
+        np.testing.assert_array_equal(
+            col.take(np.array([3, 0])), np.array([40, 10])
+        )
+
+    def test_minmax(self):
+        col = Column("x", "float64", data=[3.0, -1.0, 2.0])
+        assert col.minmax() == (-1.0, 3.0)
+
+    def test_minmax_empty_raises(self):
+        with pytest.raises(ValueError):
+            Column("x", "float64").minmax()

@@ -1,0 +1,164 @@
+"""Unit and property tests for repro.engine.compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.compression import (
+    CompressionError,
+    best_scheme,
+    decode,
+    delta_zlib_decode,
+    delta_zlib_encode,
+    dict_decode,
+    dict_encode,
+    encode,
+    for_decode,
+    for_encode,
+    rle_decode,
+    rle_encode,
+)
+
+
+class TestRLE:
+    def test_round_trip(self):
+        vals = np.array([1, 1, 1, 2, 2, 3], dtype=np.int32)
+        block = rle_encode(vals)
+        np.testing.assert_array_equal(rle_decode(block), vals)
+
+    def test_empty(self):
+        block = rle_encode(np.empty(0, dtype=np.int64))
+        assert rle_decode(block).shape == (0,)
+
+    def test_compresses_runs(self):
+        vals = np.repeat(np.arange(5, dtype=np.int64), 1000)
+        block = rle_encode(vals)
+        assert block.nbytes < vals.nbytes / 10
+
+    def test_scheme_mismatch(self):
+        block = rle_encode(np.array([1], dtype=np.int64))
+        with pytest.raises(CompressionError):
+            dict_decode(block)
+
+
+class TestDict:
+    def test_round_trip(self):
+        vals = np.array([5.5, 1.5, 5.5, 1.5, 9.0])
+        block = dict_encode(vals)
+        np.testing.assert_array_equal(dict_decode(block), vals)
+
+    def test_code_width_grows(self):
+        small = dict_encode(np.arange(10, dtype=np.int64))
+        large = dict_encode(np.arange(300, dtype=np.int64))
+        # 300 distinct values need 2-byte codes; 10 need 1-byte codes.
+        assert large.nbytes > small.nbytes
+
+    def test_empty(self):
+        block = dict_encode(np.empty(0, dtype=np.float64))
+        assert dict_decode(block).shape == (0,)
+
+
+class TestFOR:
+    def test_round_trip(self):
+        vals = np.array([100000, 100003, 100001], dtype=np.int64)
+        block = for_encode(vals)
+        np.testing.assert_array_equal(for_decode(block), vals)
+        assert for_decode(block).dtype == np.int64
+
+    def test_narrow_offsets(self):
+        vals = (1_000_000 + (np.arange(1000) % 200)).astype(np.int64)
+        block = for_encode(vals)
+        # 1000 uint8 offsets + reference + framing: far below 8000 raw bytes.
+        assert block.nbytes < 1200
+
+    def test_rejects_floats(self):
+        with pytest.raises(CompressionError):
+            for_encode(np.array([1.5]))
+
+    def test_negative_values(self):
+        vals = np.array([-50, -20, -45], dtype=np.int32)
+        np.testing.assert_array_equal(for_decode(for_encode(vals)), vals)
+
+    def test_empty(self):
+        block = for_encode(np.empty(0, dtype=np.int32))
+        assert for_decode(block).shape == (0,)
+
+
+class TestDeltaZlib:
+    def test_int_round_trip(self):
+        vals = np.cumsum(np.ones(500, dtype=np.int64)) * 3
+        block = delta_zlib_encode(vals)
+        np.testing.assert_array_equal(delta_zlib_decode(block), vals)
+
+    def test_float_round_trip_lossless(self):
+        rng = np.random.default_rng(7)
+        vals = np.cumsum(rng.normal(size=300))
+        block = delta_zlib_encode(vals)
+        np.testing.assert_array_equal(delta_zlib_decode(block), vals)
+
+    def test_float32_round_trip(self):
+        vals = np.linspace(0, 1, 100, dtype=np.float32)
+        np.testing.assert_array_equal(
+            delta_zlib_decode(delta_zlib_encode(vals)), vals
+        )
+
+    def test_sorted_compresses_better_than_shuffled(self):
+        rng = np.random.default_rng(3)
+        vals = np.sort(rng.integers(0, 10**6, 20_000)).astype(np.int64)
+        shuffled = vals.copy()
+        rng.shuffle(shuffled)
+        assert delta_zlib_encode(vals).nbytes < delta_zlib_encode(shuffled).nbytes
+
+    def test_corrupt_payload(self):
+        block = delta_zlib_encode(np.arange(10, dtype=np.int64))
+        bad = type(block)(block.scheme, block.dtype, block.count, b"junk")
+        with pytest.raises(CompressionError):
+            delta_zlib_decode(bad)
+
+    def test_empty(self):
+        block = delta_zlib_encode(np.empty(0, dtype=np.int64))
+        assert delta_zlib_decode(block).shape == (0,)
+
+
+class TestDispatch:
+    def test_encode_decode_by_name(self):
+        vals = np.array([1, 2, 3], dtype=np.int64)
+        block = encode("rle", vals)
+        np.testing.assert_array_equal(decode(block), vals)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(CompressionError):
+            encode("lz77", np.array([1]))
+
+    def test_best_scheme_picks_smallest(self):
+        vals = np.repeat(np.int64(7), 10_000)
+        block = best_scheme(vals)
+        assert block.scheme in {"rle", "delta_zlib"}
+        np.testing.assert_array_equal(decode(block), vals)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.integers(-(2**40), 2**40), min_size=0, max_size=200),
+    scheme=st.sampled_from(["rle", "dict", "for", "delta_zlib"]),
+)
+def test_all_schemes_round_trip_integers(values, scheme):
+    vals = np.array(values, dtype=np.int64)
+    block = encode(scheme, vals)
+    np.testing.assert_array_equal(decode(block), vals)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        min_size=0,
+        max_size=100,
+    ),
+    scheme=st.sampled_from(["rle", "dict", "delta_zlib"]),
+)
+def test_float_schemes_round_trip(values, scheme):
+    vals = np.array(values, dtype=np.float64)
+    block = encode(scheme, vals)
+    np.testing.assert_array_equal(decode(block), vals)

@@ -1,0 +1,39 @@
+"""Unit tests for repro.engine.project (late materialisation)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.project import project, project_rows
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def table():
+    t = Table("pts", [("x", "float64"), ("cls", "uint8")])
+    t.append_columns(
+        {"x": [1.0, 2.0, 3.0, 4.0], "cls": np.array([2, 6, 2, 9], dtype=np.uint8)}
+    )
+    return t
+
+
+class TestProject:
+    def test_selected_columns(self, table):
+        out = project(table, np.array([2, 0]), columns=["x"])
+        assert list(out) == ["x"]
+        np.testing.assert_array_equal(out["x"], [3.0, 1.0])
+
+    def test_all_columns(self, table):
+        out = project(table, np.array([1]))
+        assert set(out) == {"x", "cls"}
+
+    def test_empty_candidates(self, table):
+        out = project(table, np.empty(0, dtype=np.int64))
+        assert out["x"].shape == (0,)
+
+    def test_project_rows(self, table):
+        rows = project_rows(table, np.array([3, 1]), columns=["x", "cls"])
+        assert rows == [(4.0, 9), (2.0, 6)]
+
+    def test_project_rows_schema_order(self, table):
+        rows = project_rows(table, np.array([0]))
+        assert rows == [(1.0, 2)]

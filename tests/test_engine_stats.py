@@ -1,0 +1,95 @@
+"""Unit and property tests for repro.engine.stats (zonemaps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.column import Column
+from repro.engine.select import range_select
+from repro.engine.stats import ZoneMap
+
+
+class TestZoneMapBasics:
+    def test_chunk_bounds(self):
+        col = Column("v", "int64", data=np.arange(100))
+        zm = ZoneMap(col, chunk_rows=10)
+        assert zm.n_chunks == 10
+        assert zm.mins[0] == 0 and zm.maxs[0] == 9
+        assert zm.mins[9] == 90 and zm.maxs[9] == 99
+
+    def test_uneven_last_chunk(self):
+        col = Column("v", "int64", data=np.arange(25))
+        zm = ZoneMap(col, chunk_rows=10)
+        assert zm.n_chunks == 3
+        assert zm.maxs[2] == 24
+
+    def test_invalid_chunk_rows(self):
+        col = Column("v", "int64", data=[1])
+        with pytest.raises(ValueError):
+            ZoneMap(col, chunk_rows=0)
+
+    def test_empty_column(self):
+        col = Column("v", "int64")
+        zm = ZoneMap(col)
+        assert zm.n_chunks == 0
+        assert zm.query(0, 10).shape == (0,)
+        assert zm.scanned_fraction(0, 10) == 0.0
+
+    def test_nbytes_positive(self):
+        col = Column("v", "int64", data=np.arange(100))
+        assert ZoneMap(col, chunk_rows=10).nbytes == 2 * 10 * 8
+
+
+class TestZoneMapQueries:
+    def test_sorted_data_skips_chunks(self):
+        col = Column("v", "int64", data=np.arange(1000))
+        zm = ZoneMap(col, chunk_rows=100)
+        assert zm.candidate_chunks(250, 260).tolist() == [2]
+        assert zm.scanned_fraction(250, 260) == 0.1
+
+    def test_shuffled_data_degrades(self):
+        rng = np.random.default_rng(11)
+        vals = np.arange(1000)
+        rng.shuffle(vals)
+        zm = ZoneMap(Column("v", "int64", data=vals), chunk_rows=100)
+        # Every chunk very likely spans most of the domain.
+        assert zm.scanned_fraction(400, 600) == 1.0
+
+    def test_query_matches_scan(self):
+        rng = np.random.default_rng(5)
+        vals = rng.integers(0, 500, 777)
+        col = Column("v", "int64", data=vals)
+        zm = ZoneMap(col, chunk_rows=64)
+        got = np.sort(zm.query(100, 200))
+        expected = range_select(col, 100, 200)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_half_open_bounds(self):
+        col = Column("v", "int64", data=np.arange(100))
+        zm = ZoneMap(col, chunk_rows=10)
+        np.testing.assert_array_equal(zm.query(None, 5), np.arange(6))
+        np.testing.assert_array_equal(zm.query(95, None), np.arange(95, 100))
+
+    def test_exclusive_bounds(self):
+        col = Column("v", "int64", data=np.arange(10))
+        zm = ZoneMap(col, chunk_rows=4)
+        np.testing.assert_array_equal(
+            zm.query(2, 5, lo_inclusive=False, hi_inclusive=False), [3, 4]
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.integers(-500, 500), min_size=1, max_size=300),
+    lo=st.integers(-500, 500),
+    span=st.integers(0, 200),
+    chunk_rows=st.sampled_from([1, 7, 32, 100]),
+)
+def test_zonemap_equals_scan_reference(values, lo, span, chunk_rows):
+    """Zonemap-accelerated select must equal the full-scan reference."""
+    col = Column("v", "int64", data=np.array(values, dtype=np.int64))
+    zm = ZoneMap(col, chunk_rows=chunk_rows)
+    got = np.sort(zm.query(lo, lo + span))
+    expected = range_select(col, lo, lo + span)
+    np.testing.assert_array_equal(got, expected)

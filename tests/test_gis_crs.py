@@ -1,0 +1,111 @@
+"""Tests for the RD New <-> WGS84 coordinate transform chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gis.crs import (
+    BESSEL_1841,
+    WGS84,
+    bessel_to_rd,
+    rd_to_bessel,
+    rd_to_wgs84,
+    wgs84_to_rd,
+)
+
+
+class TestProjection:
+    def test_false_origin(self):
+        """The projection centre maps exactly to the false origin."""
+        lat0 = 52.0 + 9.0 / 60 + 22.178 / 3600
+        lon0 = 5.0 + 23.0 / 60 + 15.500 / 3600
+        x, y = bessel_to_rd(lat0, lon0)
+        assert x == pytest.approx(155000.0, abs=1e-6)
+        assert y == pytest.approx(463000.0, abs=1e-6)
+
+    def test_projection_round_trip_exact(self):
+        """Stereographic forward/inverse is numerically exact."""
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 290000, 500)
+        y = rng.uniform(290000, 630000, 500)
+        lat, lon = rd_to_bessel(x, y)
+        x2, y2 = bessel_to_rd(lat, lon)
+        np.testing.assert_allclose(x2, x, atol=1e-6)
+        np.testing.assert_allclose(y2, y, atol=1e-6)
+
+    def test_north_is_up(self):
+        lat_south, _ = rd_to_bessel(155000.0, 300000.0)
+        lat_north, _ = rd_to_bessel(155000.0, 600000.0)
+        assert lat_north > lat_south
+
+    def test_east_is_right(self):
+        _, lon_west = rd_to_bessel(20000.0, 463000.0)
+        _, lon_east = rd_to_bessel(280000.0, 463000.0)
+        assert lon_east > lon_west
+
+    def test_scale_near_unity_at_centre(self):
+        """1 km east of the centre must be ~1000 m in RD (k0 = 0.9999079)."""
+        lat, lon = rd_to_bessel(155000.0, 463000.0)
+        lat2, lon2 = rd_to_bessel(156000.0, 463000.0)
+        # Geodesic distance on the conformal sphere approximates 1 km/k0.
+        mean_lat = np.deg2rad(lat)
+        dlon = np.deg2rad(lon2 - lon)
+        approx_m = (
+            BESSEL_1841.a * np.cos(mean_lat) * dlon
+        )
+        assert approx_m == pytest.approx(1000.0, rel=2e-3)
+
+
+class TestDatumChain:
+    def test_full_round_trip_sub_metre(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(10000, 280000, 800)
+        y = rng.uniform(300000, 620000, 800)
+        lat, lon = rd_to_wgs84(x, y)
+        x2, y2 = wgs84_to_rd(lat, lon)
+        # The h=0 asymmetry across datums costs ~0.15 m worst case.
+        assert np.abs(x2 - x).max() < 0.5
+        assert np.abs(y2 - y).max() < 0.5
+
+    def test_datum_shift_magnitude(self):
+        """RD-datum and WGS84 coordinates differ by roughly 50-120 m in
+        the Netherlands — the famous 'why is my GPS track in the canal'
+        offset."""
+        lat_b, lon_b = rd_to_bessel(155000.0, 463000.0)
+        lat_w, lon_w = rd_to_wgs84(155000.0, 463000.0)
+        dlat_m = abs(lat_w - lat_b) * 111_000
+        dlon_m = abs(lon_w - lon_b) * 68_000
+        shift = np.hypot(dlat_m, dlon_m)
+        assert 30 < shift < 150
+
+    def test_amsterdam_landmark(self):
+        """Dam square (RD ~121400, 487200) lands in central Amsterdam."""
+        lat, lon = rd_to_wgs84(121400.0, 487200.0)
+        assert lat == pytest.approx(52.372, abs=0.005)
+        assert lon == pytest.approx(4.894, abs=0.005)
+
+    def test_netherlands_bounds(self):
+        """The RD domain maps into the Dutch WGS84 bounding box."""
+        rng = np.random.default_rng(3)
+        x = rng.uniform(10000, 280000, 200)
+        y = rng.uniform(300000, 620000, 200)
+        lat, lon = rd_to_wgs84(x, y)
+        assert (lat > 50.0).all() and (lat < 54.0).all()
+        assert (lon > 2.5).all() and (lon < 8.0).all()
+
+    def test_scalar_inputs(self):
+        lat, lon = rd_to_wgs84(155000.0, 463000.0)
+        assert np.isscalar(float(lat)) and 52 < lat < 53
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    x=st.floats(10000, 280000),
+    y=st.floats(300000, 620000),
+)
+def test_round_trip_property(x, y):
+    lat, lon = rd_to_wgs84(x, y)
+    x2, y2 = wgs84_to_rd(lat, lon)
+    assert abs(float(x2) - x) < 0.5
+    assert abs(float(y2) - y) < 0.5

@@ -1,0 +1,241 @@
+"""Unit and property tests for repro.gis.predicates (incl. classify_box)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gis.envelope import Box
+from repro.gis.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.gis.predicates import (
+    CellRelation,
+    classify_box,
+    classify_box_vs_box,
+    classify_box_vs_polygon,
+    contains,
+    dwithin,
+    intersects,
+    min_distance_box_to_geometry,
+    points_satisfy,
+)
+
+SQUARE = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+DONUT = Polygon(
+    [(0, 0), (10, 0), (10, 10), (0, 10)],
+    holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+)
+
+
+class TestPointsSatisfy:
+    def test_contains_box(self):
+        xs = np.array([1.0, 11.0])
+        ys = np.array([1.0, 1.0])
+        got = points_satisfy(xs, ys, Box(0, 0, 10, 10), "contains")
+        np.testing.assert_array_equal(got, [True, False])
+
+    def test_contains_polygon(self):
+        xs = np.array([5.0, 5.0])
+        ys = np.array([5.0, 15.0])
+        got = points_satisfy(xs, ys, SQUARE, "contains")
+        np.testing.assert_array_equal(got, [True, False])
+
+    def test_dwithin_line(self):
+        line = LineString([(0, 0), (10, 0)])
+        xs = np.array([5.0, 5.0])
+        ys = np.array([1.0, 3.0])
+        got = points_satisfy(xs, ys, line, "dwithin", distance=2.0)
+        np.testing.assert_array_equal(got, [True, False])
+
+    def test_dwithin_box(self):
+        got = points_satisfy(
+            np.array([12.0]), np.array([5.0]), Box(0, 0, 10, 10), "dwithin", 3.0
+        )
+        assert got[0]
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            points_satisfy(np.array([0.0]), np.array([0.0]), SQUARE, "dwithin", -1)
+
+    def test_unknown_predicate(self):
+        with pytest.raises(ValueError):
+            points_satisfy(np.array([0.0]), np.array([0.0]), SQUARE, "overlaps")
+
+    def test_contains_needs_areal(self):
+        with pytest.raises(TypeError):
+            points_satisfy(
+                np.array([0.0]), np.array([0.0]), LineString([(0, 0), (1, 1)])
+            )
+
+
+class TestClassifyBoxVsPolygon:
+    def test_fully_inside(self):
+        assert (
+            classify_box_vs_polygon(Box(2, 2, 3, 3), SQUARE) is CellRelation.INSIDE
+        )
+
+    def test_fully_outside(self):
+        assert (
+            classify_box_vs_polygon(Box(20, 20, 30, 30), SQUARE)
+            is CellRelation.OUTSIDE
+        )
+
+    def test_boundary_crossing(self):
+        assert (
+            classify_box_vs_polygon(Box(-1, 4, 1, 6), SQUARE)
+            is CellRelation.BOUNDARY
+        )
+
+    def test_polygon_inside_box_is_boundary(self):
+        big = Box(-5, -5, 15, 15)
+        assert classify_box_vs_polygon(big, SQUARE) is CellRelation.BOUNDARY
+
+    def test_box_inside_hole_is_outside(self):
+        assert (
+            classify_box_vs_polygon(Box(4.5, 4.5, 5.5, 5.5), DONUT)
+            is CellRelation.OUTSIDE
+        )
+
+    def test_box_straddling_hole_is_boundary(self):
+        assert (
+            classify_box_vs_polygon(Box(3, 3, 5, 5), DONUT)
+            is CellRelation.BOUNDARY
+        )
+
+    def test_box_between_hole_and_shell_inside(self):
+        assert (
+            classify_box_vs_polygon(Box(1, 1, 2, 2), DONUT) is CellRelation.INSIDE
+        )
+
+
+class TestClassifyBoxVsBox:
+    def test_inside(self):
+        assert (
+            classify_box_vs_box(Box(1, 1, 2, 2), Box(0, 0, 10, 10))
+            is CellRelation.INSIDE
+        )
+
+    def test_outside(self):
+        assert (
+            classify_box_vs_box(Box(11, 11, 12, 12), Box(0, 0, 10, 10))
+            is CellRelation.OUTSIDE
+        )
+
+    def test_boundary(self):
+        assert (
+            classify_box_vs_box(Box(9, 9, 12, 12), Box(0, 0, 10, 10))
+            is CellRelation.BOUNDARY
+        )
+
+
+class TestClassifyDwithin:
+    def test_outside_exact(self):
+        line = LineString([(0, 0), (10, 0)])
+        rel = classify_box(Box(0, 5, 2, 6), line, "dwithin", distance=2.0)
+        assert rel is CellRelation.OUTSIDE
+
+    def test_inside_lipschitz(self):
+        line = LineString([(0, 0), (10, 0)])
+        rel = classify_box(Box(4, 0.1, 4.2, 0.3), line, "dwithin", distance=5.0)
+        assert rel is CellRelation.INSIDE
+
+    def test_boundary(self):
+        line = LineString([(0, 0), (10, 0)])
+        rel = classify_box(Box(0, 1, 10, 3), line, "dwithin", distance=2.0)
+        assert rel is CellRelation.BOUNDARY
+
+    def test_min_distance_box_geometry(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert min_distance_box_to_geometry(Box(2, 3, 4, 5), line) == 3.0
+        assert min_distance_box_to_geometry(Box(2, -1, 4, 5), line) == 0.0
+        assert min_distance_box_to_geometry(Box(12, 0, 13, 0), line) == 2.0
+
+    def test_min_distance_box_to_polygon_interior(self):
+        assert min_distance_box_to_geometry(Box(4, 4, 5, 5), SQUARE) == 0.0
+        assert min_distance_box_to_geometry(Box(12, 0, 13, 1), SQUARE) == 2.0
+
+    def test_min_distance_box_to_box(self):
+        assert min_distance_box_to_geometry(Box(0, 0, 1, 1), Box(4, 4, 5, 5)) == (
+            18**0.5
+        )
+
+
+class TestGeometryPairPredicates:
+    def test_contains(self):
+        assert contains(SQUARE, Point(5, 5))
+        assert not contains(SQUARE, Point(15, 5))
+        assert contains(Box(0, 0, 1, 1), Point(1, 1))
+
+    def test_dwithin(self):
+        assert dwithin(LineString([(0, 0), (10, 0)]), Point(5, 1), 2.0)
+        assert not dwithin(LineString([(0, 0), (10, 0)]), Point(5, 5), 2.0)
+
+    def test_intersects_lines(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        assert intersects(a, b)
+
+    def test_intersects_line_polygon(self):
+        road = LineString([(-5, 5), (15, 5)])
+        assert intersects(SQUARE, road)
+        assert intersects(road, SQUARE)
+        far = LineString([(-5, 50), (15, 50)])
+        assert not intersects(far, SQUARE)
+
+    def test_intersects_polygon_polygon(self):
+        other = Polygon([(5, 5), (15, 5), (15, 15), (5, 15)])
+        assert intersects(SQUARE, other)
+        disjoint = Polygon([(20, 20), (30, 20), (30, 30), (20, 30)])
+        assert not intersects(SQUARE, disjoint)
+
+    def test_intersects_containing_polygon(self):
+        # One polygon strictly inside the other still intersects.
+        inner = Polygon([(2, 2), (3, 2), (3, 3), (2, 3)])
+        assert intersects(SQUARE, inner)
+        assert intersects(inner, SQUARE)
+
+    def test_intersects_point(self):
+        assert intersects(Point(5, 5), SQUARE)
+        assert intersects(SQUARE, Point(5, 5))
+        assert not intersects(Point(50, 50), SQUARE)
+        assert intersects(Point(1, 1), Point(1, 1))
+
+    def test_intersects_multilinestring(self):
+        ml = MultiLineString([[(-5, 5), (15, 5)]])
+        assert intersects(ml, SQUARE)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    bx=st.floats(-20, 20),
+    by=st.floats(-20, 20),
+    bw=st.floats(0.1, 15),
+    bh=st.floats(0.1, 15),
+    n_pts=st.integers(1, 30),
+    seed=st.integers(0, 2**31),
+)
+def test_classify_box_consistent_with_point_tests(bx, by, bw, bh, n_pts, seed):
+    """INSIDE cells must contain only qualifying points; OUTSIDE cells none.
+
+    This is the correctness contract the grid refinement relies on.
+    """
+    box = Box(bx, by, bx + bw, by + bh)
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(box.xmin, box.xmax, n_pts)
+    ys = rng.uniform(box.ymin, box.ymax, n_pts)
+    for geom, pred, dist in [
+        (DONUT, "contains", 0.0),
+        (SQUARE, "contains", 0.0),
+        (LineString([(0, 0), (10, 4)]), "dwithin", 3.0),
+    ]:
+        rel = classify_box(box, geom, pred, dist)
+        mask = points_satisfy(xs, ys, geom, pred, dist)
+        if rel is CellRelation.INSIDE:
+            assert mask.all()
+        elif rel is CellRelation.OUTSIDE:
+            assert not mask.any()

@@ -1,0 +1,103 @@
+"""Tests for Douglas-Peucker simplification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gis.algorithms import (
+    dist_points_to_linestring,
+    simplify,
+    simplify_coords,
+)
+from repro.gis.geometry import LineString, MultiLineString, Polygon
+
+
+class TestSimplifyCoords:
+    def test_collinear_collapses_to_endpoints(self):
+        coords = np.column_stack([np.linspace(0, 10, 50), np.zeros(50)])
+        out = simplify_coords(coords, tolerance=0.01)
+        assert out.shape == (2, 2)
+        np.testing.assert_array_equal(out[0], [0, 0])
+        np.testing.assert_array_equal(out[-1], [10, 0])
+
+    def test_corner_preserved(self):
+        coords = np.array([(0, 0), (5, 0), (5, 5)], dtype=float)
+        out = simplify_coords(coords, tolerance=0.5)
+        assert out.shape == (3, 2)
+
+    def test_small_bump_dropped_big_bump_kept(self):
+        coords = np.array([(0, 0), (5, 0.1), (10, 0)], dtype=float)
+        assert simplify_coords(coords, tolerance=0.5).shape == (2, 2)
+        assert simplify_coords(coords, tolerance=0.05).shape == (3, 2)
+
+    def test_two_points_unchanged(self):
+        coords = np.array([(0, 0), (1, 1)], dtype=float)
+        np.testing.assert_array_equal(simplify_coords(coords, 1.0), coords)
+
+    def test_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            simplify_coords(np.zeros((3, 2)), -1.0)
+
+
+class TestSimplifyGeometries:
+    def test_linestring(self):
+        line = LineString(
+            np.column_stack([np.linspace(0, 10, 30), np.zeros(30)])
+        )
+        slim = simplify(line, 0.01)
+        assert isinstance(slim, LineString)
+        assert slim.coords.shape[0] == 2
+
+    def test_multilinestring(self):
+        ml = MultiLineString(
+            [
+                np.column_stack([np.linspace(0, 1, 10), np.zeros(10)]),
+                np.column_stack([np.zeros(10), np.linspace(0, 1, 10)]),
+            ]
+        )
+        slim = simplify(ml, 0.01)
+        assert all(line.coords.shape[0] == 2 for line in slim.lines)
+
+    def test_polygon_ring_stays_valid(self):
+        # A triangle with dense edges simplifies back to a triangle.
+        t = np.linspace(0, 1, 15)[:-1]
+        edges = []
+        for (ax, ay), (bx, by) in [((0, 0), (10, 0)), ((10, 0), (5, 8)), ((5, 8), (0, 0))]:
+            edges.append(np.column_stack([ax + (bx - ax) * t, ay + (by - ay) * t]))
+        poly = Polygon(np.vstack(edges))
+        slim = simplify(poly, 0.01)
+        assert slim.shell.shape[0] == 4  # 3 vertices + closure
+        assert slim.area == pytest.approx(poly.area, rel=0.01)
+
+    def test_aggressive_tolerance_keeps_polygon_valid(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        slim = simplify(poly, tolerance=100.0)
+        assert slim.shell.shape[0] >= 4
+        assert slim.area > 0
+
+    def test_unsupported_type(self):
+        from repro.gis.geometry import Point
+
+        with pytest.raises(TypeError):
+            simplify(Point(0, 0), 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(3, 80),
+    tolerance=st.floats(0.01, 5.0),
+)
+def test_error_bound_property(seed, n, tolerance):
+    """Every dropped vertex lies within tolerance of the simplified line."""
+    rng = np.random.default_rng(seed)
+    coords = np.cumsum(rng.normal(0, 1, (n, 2)), axis=0)
+    slim = simplify_coords(coords, tolerance)
+    assert slim.shape[0] >= 2
+    # Endpoints preserved.
+    np.testing.assert_array_equal(slim[0], coords[0])
+    np.testing.assert_array_equal(slim[-1], coords[-1])
+    line = LineString(slim) if slim.shape[0] >= 2 else None
+    d = dist_points_to_linestring(coords[:, 0], coords[:, 1], line)
+    assert d.max() <= tolerance + 1e-9

@@ -1,0 +1,134 @@
+"""Unit and property tests for repro.gis.wkt."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gis.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.gis.wkt import WKTError, dumps, loads
+
+
+class TestParse:
+    def test_point(self):
+        geom = loads("POINT (30 10)")
+        assert isinstance(geom, Point)
+        assert (geom.x, geom.y) == (30.0, 10.0)
+
+    def test_point_scientific_and_negative(self):
+        geom = loads("POINT(-1.5e2 +2.25)")
+        assert (geom.x, geom.y) == (-150.0, 2.25)
+
+    def test_point_3d_z_dropped(self):
+        geom = loads("POINT (1 2 99)")
+        assert (geom.x, geom.y) == (1.0, 2.0)
+
+    def test_linestring(self):
+        geom = loads("LINESTRING (0 0, 10 0, 10 10)")
+        assert isinstance(geom, LineString)
+        assert geom.coords.shape == (3, 2)
+
+    def test_polygon_with_hole(self):
+        geom = loads(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0),"
+            " (2 2, 4 2, 4 4, 2 4, 2 2))"
+        )
+        assert isinstance(geom, Polygon)
+        assert len(geom.holes) == 1
+        assert geom.area == 96.0
+
+    def test_multipoint_both_syntaxes(self):
+        a = loads("MULTIPOINT ((1 2), (3 4))")
+        b = loads("MULTIPOINT (1 2, 3 4)")
+        assert isinstance(a, MultiPoint) and isinstance(b, MultiPoint)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_multilinestring(self):
+        geom = loads("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))")
+        assert isinstance(geom, MultiLineString)
+        assert len(geom) == 2
+
+    def test_multipolygon(self):
+        geom = loads(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+            " ((5 5, 6 5, 6 6, 5 6, 5 5)))"
+        )
+        assert isinstance(geom, MultiPolygon)
+        assert len(geom) == 2
+
+    def test_case_insensitive_tag(self):
+        assert isinstance(loads("point (1 2)"), Point)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "POINT",
+            "POINT (1)",
+            "POINT (1 2",
+            "POINT (1 2) junk",
+            "CIRCLE (1 2, 3)",
+            "POLYGON ((0 0, 1 1))",
+            "POINT EMPTY",
+            "LINESTRING EMPTY",
+            "POINT (a b)",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises((WKTError, Exception)):
+            loads(text)
+
+    def test_not_a_string(self):
+        with pytest.raises(WKTError):
+            loads(None)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "POINT (30.5 -10.25)",
+            "LINESTRING (0 0, 10 0, 10 10)",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+            "MULTIPOINT ((1 2), (3 4))",
+        ],
+    )
+    def test_parse_dump_parse_stable(self, text):
+        geom1 = loads(text)
+        geom2 = loads(dumps(geom1))
+        assert type(geom1) is type(geom2)
+        assert dumps(geom1) == dumps(geom2)
+
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(x=finite, y=finite)
+def test_point_round_trip_exact(x, y):
+    geom = loads(dumps(Point(x, y)))
+    assert geom.x == x and geom.y == y
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    coords=st.lists(st.tuples(finite, finite), min_size=2, max_size=20),
+)
+def test_linestring_round_trip_exact(coords):
+    line = LineString(coords)
+    back = loads(dumps(line))
+    np.testing.assert_array_equal(back.coords, line.coords)

@@ -1,0 +1,139 @@
+"""Unit and property tests for repro.core.imprints.histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.imprints.histogram import (
+    MAX_BINS,
+    BinScheme,
+    build_bins,
+)
+
+
+class TestBinScheme:
+    def test_bin_of_semantics(self):
+        scheme = BinScheme(borders=np.array([10.0, 20.0, 30.0]))
+        assert scheme.n_bins == 4
+        np.testing.assert_array_equal(
+            scheme.bin_of(np.array([5.0, 10.0, 15.0, 30.0, 99.0])),
+            [0, 1, 1, 3, 3],
+        )
+
+    def test_single_bin(self):
+        scheme = BinScheme(borders=np.empty(0))
+        assert scheme.n_bins == 1
+        assert scheme.bin_of(np.array([1.0, -5.0])).tolist() == [0, 0]
+        assert scheme.range_mask(0, 10) == 1
+
+    def test_range_mask_inner(self):
+        scheme = BinScheme(borders=np.array([10.0, 20.0, 30.0]))
+        # [12, 18] lies entirely in bin 1.
+        assert scheme.range_mask(12, 18) == 0b0010
+        # [12, 25] spans bins 1-2.
+        assert scheme.range_mask(12, 25) == 0b0110
+
+    def test_range_mask_unbounded(self):
+        scheme = BinScheme(borders=np.array([10.0, 20.0, 30.0]))
+        assert scheme.range_mask(None, None) == 0b1111
+        assert scheme.range_mask(None, 5) == 0b0001
+        assert scheme.range_mask(35, None) == 0b1000
+
+    def test_range_mask_on_border(self):
+        scheme = BinScheme(borders=np.array([10.0, 20.0]))
+        # lo exactly on a border: values >= 10 start at bin 1.
+        assert scheme.range_mask(10, 10) == 0b010
+
+    def test_range_mask_outside_domain(self):
+        scheme = BinScheme(borders=np.array([10.0, 20.0]))
+        # Extremes land in the first/last catch-all bins, never mask 0.
+        assert scheme.range_mask(-100, -50) == 0b001
+        assert scheme.range_mask(100, 200) == 0b100
+
+
+class TestBuildBins:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            build_bins(np.empty(0))
+
+    def test_bad_max_bins(self):
+        with pytest.raises(ValueError):
+            build_bins(np.arange(10), max_bins=0)
+        with pytest.raises(ValueError):
+            build_bins(np.arange(10), max_bins=65)
+
+    def test_constant_column_single_bin(self):
+        scheme = build_bins(np.full(100, 7.0))
+        assert scheme.n_bins == 1
+
+    def test_low_cardinality_fewer_bins(self):
+        values = np.tile(np.arange(5, dtype=np.int64), 100)
+        scheme = build_bins(values)
+        # 5 distinct values -> 4 bins (largest power of two <= 5).
+        assert scheme.n_bins == 4
+
+    def test_bins_capped_at_64(self):
+        values = np.arange(100_000, dtype=np.float64)
+        scheme = build_bins(values)
+        assert scheme.n_bins <= MAX_BINS
+
+    def test_borders_strictly_ascending(self):
+        rng = np.random.default_rng(1)
+        scheme = build_bins(rng.normal(size=10_000))
+        assert np.all(np.diff(scheme.borders) > 0)
+
+    def test_equi_depth_on_skewed_data(self):
+        rng = np.random.default_rng(2)
+        values = rng.exponential(scale=1.0, size=50_000)
+        scheme = build_bins(values, sample_size=50_000)
+        bins = scheme.bin_of(values)
+        counts = np.bincount(bins, minlength=scheme.n_bins)
+        # Equi-depth: no bin may be grossly overloaded despite heavy skew.
+        assert counts.max() < 6 * values.shape[0] / scheme.n_bins
+
+    def test_deterministic_given_rng(self):
+        values = np.random.default_rng(3).normal(size=10_000)
+        a = build_bins(values, rng=np.random.default_rng(42))
+        b = build_bins(values, rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(a.borders, b.borders)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=400,
+    ),
+    lo=st.floats(-1e6, 1e6),
+    span=st.floats(0, 1e6),
+)
+def test_range_mask_covers_all_in_range_bins(values, lo, span):
+    """Every value inside [lo, hi] must fall in a bin set in the mask.
+
+    This is the no-false-negative property of the bin mask, on which the
+    entire imprint correctness rests.
+    """
+    arr = np.array(values, dtype=np.float64)
+    scheme = build_bins(arr)
+    hi = lo + span
+    mask = scheme.range_mask(lo, hi)
+    in_range = arr[(arr >= lo) & (arr <= hi)]
+    if in_range.shape[0] == 0:
+        return
+    bins = scheme.bin_of(in_range)
+    assert all(mask >> int(b) & 1 for b in bins)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=400),
+)
+def test_bin_of_is_monotone(values):
+    arr = np.sort(np.array(values, dtype=np.int64))
+    scheme = build_bins(arr)
+    bins = scheme.bin_of(arr)
+    assert np.all(np.diff(bins) >= 0)
+    assert bins.min() >= 0
+    assert bins.max() < scheme.n_bins

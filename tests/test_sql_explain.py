@@ -1,0 +1,130 @@
+"""Tests for Session.explain (the demo's query-plan view, Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.gis.geometry import Polygon
+from repro.sql.executor import Session
+
+
+@pytest.fixture()
+def session():
+    rng = np.random.default_rng(0)
+    t = Table(
+        "pts",
+        [("x", "float64"), ("y", "float64"), ("z", "float64"), ("c", "uint8")],
+    )
+    t.append_columns(
+        {
+            "x": rng.uniform(0, 100, 500),
+            "y": rng.uniform(0, 100, 500),
+            "z": rng.uniform(0, 10, 500),
+            "c": rng.integers(0, 5, 500).astype(np.uint8),
+        }
+    )
+    zones = Table("zones", [("zone_id", "int64"), ("code", "int64")])
+    zones.append_columns({"zone_id": [1, 2], "code": [10, 20]})
+    session = Session()
+    session.register_table(t)
+    session.register_table(zones, point_columns=None)
+    session.register_columns(
+        "geo_zones",
+        {
+            "code": np.array([10]),
+            "geom": [Polygon([(0, 0), (50, 0), (50, 50), (0, 50)])],
+        },
+    )
+    return session
+
+
+class TestExplain:
+    def test_spatial_pushdown_visible(self, session):
+        plan = session.explain(
+            "SELECT count(*) FROM pts WHERE "
+            "ST_Contains(ST_MakeEnvelope(0, 0, 10, 10), ST_Point(x, y))"
+        )
+        assert "spatial filter [contains] via imprints + grid" in plan
+        assert "residual" not in plan
+
+    def test_range_pushdown_visible(self, session):
+        plan = session.explain("SELECT count(*) FROM pts WHERE z BETWEEN 1 AND 3")
+        assert "range filter via imprint on 'z'" in plan
+
+    def test_residual_listed(self, session):
+        plan = session.explain(
+            "SELECT count(*) FROM pts WHERE z > 1 AND c = 2"
+        )
+        assert "range filter via imprint on 'z'" in plan
+        assert "residual scan filter" in plan
+
+    def test_spatial_suppresses_range_pushdown(self, session):
+        plan = session.explain(
+            "SELECT count(*) FROM pts WHERE z > 1 AND "
+            "ST_Contains(ST_MakeEnvelope(0, 0, 10, 10), ST_Point(x, y))"
+        )
+        assert "spatial filter" in plan
+        # z > 1 stays residual once the spatial index narrowed candidates.
+        assert "residual scan filter: (z > 1)" in plan
+
+    def test_hash_join_visible(self, session):
+        plan = session.explain(
+            "SELECT count(*) FROM zones a, zones2 b WHERE 1 = 1"
+            if False
+            else "SELECT count(*) FROM pts p, zones u WHERE p.c = u.code"
+        )
+        assert "hash join" in plan
+
+    def test_nested_loop_join_visible(self, session):
+        plan = session.explain(
+            "SELECT count(*) FROM pts p, geo_zones g WHERE "
+            "ST_Contains(g.geom, ST_Point(p.x, p.y))"
+        )
+        assert "nested-loop join" in plan
+        assert "outer loop over geo_zones" in plan
+        assert "inner probe" in plan
+        assert "spatial filter" in plan
+
+    def test_clauses_listed(self, session):
+        plan = session.explain(
+            "SELECT c, count(*) FROM pts GROUP BY c HAVING count(*) > 1 "
+            "ORDER BY c DESC LIMIT 3"
+        )
+        assert "group by c" in plan
+        assert "having" in plan
+        assert "order by c desc" in plan
+        assert "limit 3" in plan
+
+    def test_aggregate_without_group(self, session):
+        plan = session.explain("SELECT avg(z) FROM pts")
+        assert "aggregate (single group)" in plan
+
+    def test_distinct(self, session):
+        plan = session.explain("SELECT DISTINCT c FROM pts")
+        assert "distinct" in plan
+
+    def test_explain_does_not_execute(self, session):
+        session.explain(
+            "SELECT count(*) FROM pts WHERE z BETWEEN 1 AND 3"
+        )
+        # No imprint was built: explain is planning only.
+        assert session.manager.builds == 0
+
+
+class TestProfile:
+    def test_last_profile_phases(self, session):
+        session.execute("SELECT count(*) FROM pts WHERE z BETWEEN 1 AND 3")
+        profile = session.last_profile
+        assert set(profile) == {"parse", "join_filter", "project", "total"}
+        assert all(v >= 0 for v in profile.values())
+        assert profile["total"] >= profile["parse"]
+        assert profile["total"] == pytest.approx(
+            profile["parse"] + profile["join_filter"] + profile["project"],
+            rel=0.5,
+        )
+
+    def test_profile_refreshes_per_query(self, session):
+        session.execute("SELECT count(*) FROM pts")
+        first = dict(session.last_profile)
+        session.execute("SELECT count(*) FROM pts WHERE c = 1")
+        assert session.last_profile != first or session.last_profile["total"] > 0

@@ -1,0 +1,113 @@
+"""Direct unit tests for the SQL function registry."""
+
+import numpy as np
+import pytest
+
+from repro.gis.geometry import LineString, Point, Polygon
+from repro.sql.functions import (
+    SqlFunctionError,
+    call,
+    st_area,
+    st_contains,
+    st_distance,
+    st_dwithin,
+    st_geomfromtext,
+    st_length,
+    st_makeenvelope,
+    st_point,
+    st_x,
+    st_y,
+)
+
+SQUARE = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+
+
+class TestConstructors:
+    def test_st_point_scalar(self):
+        p = st_point(1.0, 2.0)
+        assert isinstance(p, Point)
+        assert (p.x, p.y) == (1.0, 2.0)
+
+    def test_st_point_vectorised(self):
+        pts = st_point(np.array([1.0, 3.0]), np.array([2.0, 4.0]))
+        assert pts.dtype == object
+        assert pts[1] == Point(3.0, 4.0)
+
+    def test_st_point_broadcast_scalar_array(self):
+        pts = st_point(5.0, np.array([1.0, 2.0]))
+        assert pts[0] == Point(5.0, 1.0)
+        assert pts[1] == Point(5.0, 2.0)
+
+    def test_st_geomfromtext(self):
+        geom = st_geomfromtext("POINT (1 2)")
+        assert isinstance(geom, Point)
+
+    def test_st_makeenvelope(self):
+        env = st_makeenvelope(0, 0, 4, 2)
+        assert env.area == 8.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(SqlFunctionError):
+            st_point(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestAccessors:
+    def test_st_x_y(self):
+        assert st_x(Point(3, 4)) == 3
+        assert st_y(Point(3, 4)) == 4
+
+    def test_st_x_requires_point(self):
+        with pytest.raises(SqlFunctionError):
+            st_x(SQUARE)
+
+    def test_st_area_and_length(self):
+        assert st_area(SQUARE) == 100.0
+        assert st_area(Point(0, 0)) == 0.0
+        assert st_length(LineString([(0, 0), (3, 4)])) == 5.0
+
+    def test_st_distance(self):
+        assert st_distance(SQUARE, Point(13, 0)) == 3.0
+        assert st_distance(Point(13, 0), SQUARE) == 3.0
+
+    def test_st_distance_needs_a_point(self):
+        with pytest.raises(SqlFunctionError):
+            st_distance(SQUARE, SQUARE)
+
+
+class TestPredicates:
+    def test_st_contains(self):
+        assert st_contains(SQUARE, Point(5, 5))
+        assert not st_contains(SQUARE, Point(50, 5))
+
+    def test_st_contains_vectorised_returns_bool_array(self):
+        pts = st_point(np.array([5.0, 50.0]), np.array([5.0, 5.0]))
+        out = st_contains(SQUARE, pts)
+        assert out.dtype == bool
+        assert out.tolist() == [True, False]
+
+    def test_st_contains_rejects_non_point(self):
+        with pytest.raises(SqlFunctionError):
+            st_contains(SQUARE, SQUARE)
+
+    def test_st_dwithin_argument_order(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert st_dwithin(line, Point(5, 2), 3)
+        assert st_dwithin(Point(5, 2), line, 3)  # swapped is fine
+
+    def test_st_dwithin_two_areal_rejected(self):
+        with pytest.raises(SqlFunctionError):
+            st_dwithin(SQUARE, SQUARE, 1)
+
+
+class TestDispatch:
+    def test_call_by_name(self):
+        assert call("abs", [-3.0]) == 3.0
+        assert call("sqrt", [9.0]) == 3.0
+
+    def test_call_vectorised_numeric(self):
+        out = call("round", [np.array([1.4, 1.6])])
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    def test_unknown_function(self):
+        with pytest.raises(SqlFunctionError):
+            call("st_buffer", [SQUARE, 1.0])

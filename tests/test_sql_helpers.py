@@ -1,0 +1,76 @@
+"""Tests for the dataset registration helpers."""
+
+import pytest
+
+from repro.datasets.osm import generate_osm
+from repro.datasets.urbanatlas import generate_urban_atlas
+from repro.gis.envelope import Box
+from repro.sql.executor import Session
+from repro.sql.helpers import register_osm, register_urban_atlas
+
+EXTENT = Box(0, 0, 1000, 1000)
+
+
+@pytest.fixture()
+def session():
+    session = Session()
+    osm = generate_osm(EXTENT, seed=2)
+    ua = generate_urban_atlas(EXTENT, osm=osm, seed=2)
+    register_osm(session, osm)
+    register_urban_atlas(session, ua)
+    session._osm = osm
+    session._ua = ua
+    return session
+
+
+class TestRegisterOsm:
+    def test_roads_queryable(self, session):
+        got = session.execute("SELECT count(*) FROM roads").scalar()
+        assert got == len(session._osm.roads)
+
+    def test_road_classes(self, session):
+        got = session.execute(
+            "SELECT count(*) FROM roads WHERE class = 1"
+        ).scalar()
+        assert got == len(session._osm.roads_of_class("motorway"))
+
+    def test_rivers_and_pois(self, session):
+        assert session.execute("SELECT count(*) FROM rivers").scalar() == len(
+            session._osm.rivers
+        )
+        assert session.execute("SELECT count(*) FROM pois").scalar() == len(
+            session._osm.pois
+        )
+
+    def test_poi_geometry_accessible(self, session):
+        rows = session.execute(
+            "SELECT ST_X(geom), ST_Y(geom) FROM pois LIMIT 3"
+        ).rows
+        assert all(0 <= x <= 1000 and 0 <= y <= 1000 for x, y in rows)
+
+    def test_prefix(self):
+        session = Session()
+        osm = generate_osm(EXTENT, seed=3)
+        register_osm(session, osm, prefix="osm_")
+        assert session.execute("SELECT count(*) FROM osm_roads").scalar() > 0
+
+
+class TestRegisterUrbanAtlas:
+    def test_zones_queryable(self, session):
+        got = session.execute("SELECT count(*) FROM ua_zones").scalar()
+        assert got == len(session._ua.zones)
+
+    def test_labels_match_codes(self, session):
+        rows = session.execute(
+            "SELECT DISTINCT code, label FROM ua_zones"
+        ).rows
+        from repro.datasets.urbanatlas import UA_CODES
+
+        for code, label in rows:
+            assert UA_CODES[code] == label
+
+    def test_area_sql(self, session):
+        total = session.execute(
+            "SELECT sum(ST_Area(geom)) FROM ua_zones WHERE code != 12210"
+        ).scalar()
+        assert total == pytest.approx(EXTENT.area, rel=1e-9)

@@ -1,0 +1,167 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.parser import parse
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT x FROM t WHERE y >= 1.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "keyword", "ident", "keyword", "ident", "keyword",
+            "ident", "op", "number", "eof",
+        ]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select X fRoM t")
+        assert tokens[0].value == "select"
+        assert tokens[2].value == "from"
+        assert tokens[1].value == "X"  # idents keep their case
+
+    def test_unlexable(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT #")
+
+    def test_non_string_input(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize(42)
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        select = parse("SELECT x, y FROM pts")
+        assert [i.expr for i in select.items] == [
+            ast.ColumnRef("x"),
+            ast.ColumnRef("y"),
+        ]
+        assert select.tables == (ast.TableRef("pts"),)
+
+    def test_star(self):
+        select = parse("SELECT * FROM pts")
+        assert isinstance(select.items[0].expr, ast.Star)
+
+    def test_aliases(self):
+        select = parse("SELECT x AS ex, y why FROM pts p")
+        assert select.items[0].alias == "ex"
+        assert select.items[1].alias == "why"
+        assert select.tables[0].alias == "p"
+        assert select.tables[0].binding == "p"
+
+    def test_qualified_columns(self):
+        select = parse("SELECT p.x FROM pts p")
+        assert select.items[0].expr == ast.ColumnRef("x", table="p")
+
+    def test_where_precedence(self):
+        select = parse("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR.
+        assert isinstance(select.where, ast.BinOp)
+        assert select.where.op == "or"
+        assert select.where.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        select = parse("SELECT 1 + 2 * 3 FROM t")
+        expr = select.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        select = parse("SELECT (1 + 2) * 3 FROM t")
+        assert select.items[0].expr.op == "*"
+
+    def test_unary_minus_and_not(self):
+        select = parse("SELECT -x FROM t WHERE NOT a = 1")
+        assert select.items[0].expr == ast.UnaryOp("-", ast.ColumnRef("x"))
+        assert isinstance(select.where, ast.UnaryOp)
+
+    def test_between(self):
+        select = parse("SELECT x FROM t WHERE x BETWEEN 1 AND 5")
+        assert select.where == ast.Between(
+            ast.ColumnRef("x"), ast.Literal(1), ast.Literal(5)
+        )
+
+    def test_not_between(self):
+        select = parse("SELECT x FROM t WHERE x NOT BETWEEN 1 AND 5")
+        assert select.where.negated
+
+    def test_in_list(self):
+        select = parse("SELECT x FROM t WHERE c IN (2, 6)")
+        assert select.where == ast.InList(
+            ast.ColumnRef("c"), (ast.Literal(2), ast.Literal(6))
+        )
+
+    def test_function_calls(self):
+        select = parse("SELECT ST_X(geom) FROM t")
+        assert select.items[0].expr == ast.FuncCall(
+            "st_x", (ast.ColumnRef("geom"),)
+        )
+
+    def test_count_star(self):
+        select = parse("SELECT count(*) FROM t")
+        assert select.items[0].expr == ast.FuncCall("count", (ast.Star(),))
+
+    def test_nested_functions(self):
+        select = parse(
+            "SELECT x FROM t WHERE ST_Contains(ST_GeomFromText('POINT (1 2)'),"
+            " ST_Point(x, y))"
+        )
+        outer = select.where
+        assert outer.name == "st_contains"
+        assert outer.args[0].name == "st_geomfromtext"
+        assert outer.args[1].name == "st_point"
+
+
+class TestParserClauses:
+    def test_group_by(self):
+        select = parse("SELECT c, count(*) FROM t GROUP BY c")
+        assert select.group_by == (ast.ColumnRef("c"),)
+
+    def test_order_by(self):
+        select = parse("SELECT x FROM t ORDER BY x DESC, y")
+        assert select.order_by[0].descending
+        assert not select.order_by[1].descending
+
+    def test_limit(self):
+        assert parse("SELECT x FROM t LIMIT 10").limit == 10
+
+    def test_joins(self):
+        select = parse("SELECT a.x FROM a JOIN b ON a.k = b.k")
+        assert len(select.joins) == 1
+        table, condition = select.joins[0]
+        assert table.name == "b"
+        assert condition.op == "="
+
+    def test_inner_join(self):
+        select = parse("SELECT a.x FROM a INNER JOIN b ON a.k = b.k")
+        assert len(select.joins) == 1
+
+    def test_comma_join(self):
+        select = parse("SELECT 1 FROM a, b WHERE a.k = b.k")
+        assert len(select.tables) == 2
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT x",
+            "SELECT x FROM",
+            "SELECT x FROM t WHERE",
+            "SELECT x FROM t LIMIT 1.5",
+            "SELECT x FROM t GROUP",
+            "SELECT x FROM t trailing garbage (",
+            "FROM t SELECT x",
+            "SELECT x FROM t WHERE x NOT 5",
+        ],
+    )
+    def test_malformed(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)

@@ -1,0 +1,112 @@
+"""Tests for the level-of-detail point pyramid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gis.envelope import Box
+from repro.viz.lod import PointPyramid, build_pyramid, uniformity
+
+
+def make_points(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    # Clustered cloud: uniform sampling would over-represent the cluster.
+    cluster = rng.normal([25, 25], 3, (n // 2, 2))
+    spread = rng.uniform(0, 100, (n - n // 2, 2))
+    pts = np.vstack([cluster, spread])
+    return np.clip(pts[:, 0], 0, 100), np.clip(pts[:, 1], 0, 100)
+
+
+class TestBuildPyramid:
+    def test_order_is_a_permutation(self):
+        xs, ys = make_points(5000)
+        pyramid = build_pyramid(xs, ys)
+        assert np.sort(pyramid.order).tolist() == list(range(5000))
+
+    def test_levels_monotone(self):
+        xs, ys = make_points(5000)
+        pyramid = build_pyramid(xs, ys)
+        assert pyramid.level_sizes == sorted(pyramid.level_sizes)
+        assert pyramid.n_levels >= 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            build_pyramid(np.empty(0), np.empty(0))
+
+    def test_prefix_bounds(self):
+        xs, ys = make_points(1000)
+        pyramid = build_pyramid(xs, ys)
+        assert pyramid.prefix(0).shape == (0,)
+        assert pyramid.prefix(10**9).shape == (1000,)
+        assert pyramid.prefix(100).shape == (100,)
+
+    def test_level_accessor(self):
+        xs, ys = make_points(2000)
+        pyramid = build_pyramid(xs, ys)
+        assert pyramid.level(0).shape[0] == pyramid.level_sizes[0]
+        with pytest.raises(ValueError):
+            pyramid.level(99)
+
+
+class TestUniformity:
+    def test_prefix_more_uniform_than_head(self):
+        """The whole point: a pyramid prefix spreads over the extent while
+        the raw array head (acquisition order) clumps."""
+        xs, ys = make_points(20_000, seed=3)
+        pyramid = build_pyramid(xs, ys)
+        extent = pyramid.extent
+        k = 300
+        prefix = pyramid.prefix(k)
+        u_pyramid = uniformity(xs[prefix], ys[prefix], extent)
+        u_head = uniformity(xs[:k], ys[:k], extent)
+        assert u_pyramid > u_head * 1.5
+        assert u_pyramid > 0.8
+
+    def test_every_prefix_reasonably_uniform(self):
+        xs, ys = make_points(10_000, seed=4)
+        pyramid = build_pyramid(xs, ys)
+        for k in (64, 256, 1024, 4096):
+            sub = pyramid.prefix(k)
+            assert uniformity(xs[sub], ys[sub], pyramid.extent) > 0.55
+
+    def test_uniformity_empty(self):
+        assert uniformity(np.empty(0), np.empty(0), Box(0, 0, 1, 1)) == 0.0
+
+
+class TestViewport:
+    def test_viewport_filters_and_truncates(self):
+        xs, ys = make_points(10_000, seed=5)
+        pyramid = build_pyramid(xs, ys)
+        view = Box(0, 0, 30, 30)
+        picked = pyramid.for_viewport(view, pixel_budget=500)
+        assert picked.shape[0] <= 500
+        assert ((xs[picked] >= 0) & (xs[picked] <= 30)).all()
+        assert ((ys[picked] >= 0) & (ys[picked] <= 30)).all()
+
+    def test_zoom_increases_local_detail(self):
+        """Zooming in must surface points that the full-extent budget
+        never drew — the LoD promise."""
+        xs, ys = make_points(20_000, seed=6)
+        pyramid = build_pyramid(xs, ys)
+        budget = 1000
+        whole = set(pyramid.for_viewport(pyramid.extent, budget).tolist())
+        zoomed = set(
+            pyramid.for_viewport(Box(20, 20, 30, 30), budget).tolist()
+        )
+        assert len(zoomed - whole) > 0
+
+    def test_zero_budget(self):
+        xs, ys = make_points(100, seed=7)
+        pyramid = build_pyramid(xs, ys)
+        assert pyramid.for_viewport(pyramid.extent, 0).shape == (0,)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(1, 3000))
+def test_pyramid_is_always_a_permutation(seed, n):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0, 50, n)
+    ys = rng.uniform(0, 50, n)
+    pyramid = build_pyramid(xs, ys)
+    assert np.sort(pyramid.order).tolist() == list(range(n))
