@@ -1,0 +1,86 @@
+"""E7 — Thread scaling of the morsel-driven query path.
+
+E4-style range queries (three rectangle selectivities plus a corridor)
+run at 1/2/4/8 threads against the flat+imprints system.  Results land
+in ``BENCH_parallel.json`` at the repo root (and in ``REPRO_BENCH_DIR``
+when set) as machine-readable JSON, including the machine's core count —
+on a 1-core container the honest speedup is ~1x and the report says so.
+
+Correctness across thread counts is asserted here too (identical result
+counts), though the exhaustive sweep lives in ``tests/test_parallel.py``.
+"""
+
+import os
+from pathlib import Path
+
+from repro.bench.parallel_scaling import (
+    DEFAULT_THREADS,
+    machine_info,
+    sweep,
+    write_report,
+)
+from repro.bench.workloads import standard_queries
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_NAMES = ["rect_small", "rect_medium", "rect_large", "corridor_narrow"]
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+def test_thread_scaling_report(flat_db, extent):
+    specs = [
+        s for s in standard_queries(extent, seed=3) if s.name in BENCH_NAMES
+    ]
+
+    queries = []
+    for spec in specs:
+        counts = {}
+
+        def run(threads, spec=spec, counts=counts):
+            result = flat_db.spatial_select(
+                "ahn2",
+                spec.geometry,
+                spec.predicate,
+                spec.distance,
+                threads=threads,
+            )
+            counts[threads] = int(result.oids.shape[0])
+            return result
+
+        rows = sweep(run, DEFAULT_THREADS, repeats=REPEATS)
+        # Parallel execution must not change the answer.
+        assert len(set(counts.values())) == 1, counts
+        queries.append(
+            {
+                "name": spec.name,
+                "predicate": spec.predicate,
+                "result_rows": counts[1],
+                "timings": rows,
+            }
+        )
+
+    payload = {
+        "experiment": "thread_scaling",
+        "workload": "van Oosterom range queries (E4-style)",
+        "n_points": len(flat_db.table("ahn2")),
+        "thread_counts": list(DEFAULT_THREADS),
+        "repeats": REPEATS,
+        "machine": machine_info(),
+        "queries": queries,
+    }
+    out = write_report(REPO_ROOT / "BENCH_parallel.json", payload)
+    if os.environ.get("REPRO_BENCH_DIR"):
+        write_report(
+            Path(os.environ["REPRO_BENCH_DIR"]) / "BENCH_parallel.json", payload
+        )
+    assert out.exists()
+
+    for query in queries:
+        by_threads = {r["threads"]: r for r in query["timings"]}
+        assert by_threads[1]["speedup"] == 1.0
+        # On multi-core hardware the 4-thread run should show real
+        # scaling; on fewer cores there is nothing to scale onto, so
+        # only require that parallelism is not a regression.
+        if machine_info()["hardware_threads"] >= 4:
+            assert by_threads[4]["speedup"] >= 1.2, query
+        else:
+            assert by_threads[4]["speedup"] >= 0.5, query

@@ -39,11 +39,20 @@ class PointCloudDB:
     ----------
     directory:
         Optional persistence root (forwarded to the engine catalog).
+    threads:
+        Default worker count for imprint builds and query execution
+        (``None`` = all cores, ``1`` = serial).  Every query may override
+        it with ``threads=``; results are identical either way.
     """
 
-    def __init__(self, directory: Optional[PathLike] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[PathLike] = None,
+        threads: Optional[int] = None,
+    ) -> None:
         self.db = Database(directory=directory)
-        self.manager = ImprintsManager()
+        self.threads = threads
+        self.manager = ImprintsManager(threads=threads)
         self._selects: Dict[str, SpatialSelect] = {}
         self._vector_relations: Dict[str, Dict] = {}
 
@@ -52,7 +61,9 @@ class PointCloudDB:
     def create_pointcloud(self, name: str = "points") -> Table:
         """Create a 26-column flat point-cloud table."""
         table = create_flat_table(self.db, name)
-        self._selects[name] = SpatialSelect(table, manager=self.manager)
+        self._selects[name] = SpatialSelect(
+            table, manager=self.manager, threads=self.threads
+        )
         return table
 
     def load_las(
@@ -81,11 +92,17 @@ class PointCloudDB:
         distance: float = 0.0,
         **kwargs,
     ) -> QueryResult:
-        """Two-step (imprints filter + grid refine) spatial selection."""
+        """Two-step (imprints filter + grid refine) spatial selection.
+
+        Accepts the :meth:`SpatialSelect.query` keywords, including
+        ``threads=`` to override the database default for one query.
+        """
         try:
             select = self._selects[name]
         except KeyError:
-            select = SpatialSelect(self.db.table(name), manager=self.manager)
+            select = SpatialSelect(
+                self.db.table(name), manager=self.manager, threads=self.threads
+            )
             self._selects[name] = select
         return select.query(geometry, predicate, distance, **kwargs)
 
@@ -148,9 +165,11 @@ class PointCloudDB:
         return total
 
     @classmethod
-    def load(cls, directory: PathLike) -> "PointCloudDB":
+    def load(
+        cls, directory: PathLike, threads: Optional[int] = None
+    ) -> "PointCloudDB":
         """Restore a persisted database, imprints included."""
-        instance = cls(directory=directory)
+        instance = cls(directory=directory, threads=threads)
         instance.db = Database.load(directory)
         tables = {name: instance.db.table(name) for name in instance.db.table_names}
         instance.manager.load(tables, Path(directory) / "_imprints")

@@ -102,16 +102,16 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_db(db_dir: str):
+def _open_db(db_dir: str, threads: Optional[int] = None):
     from .api import PointCloudDB
 
-    return PointCloudDB.load(db_dir)
+    return PointCloudDB.load(db_dir, threads=threads)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from .gis.wkt import loads
 
-    db = _open_db(args.db)
+    db = _open_db(args.db, threads=args.threads)
     geometry = loads(args.wkt)
     start = time.perf_counter()
     result = db.spatial_select(
@@ -123,7 +123,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(
         f"filter: {stats.n_filter_candidates} candidates "
         f"({stats.filter_selectivity * 100:.2f}% of {stats.n_rows} rows); "
-        f"refine: {stats.refine_stats.boundary_cells} boundary cells"
+        f"segments: {stats.n_segments_skipped} zone-map skips, "
+        f"{stats.n_segments_probed} probed; "
+        f"refine: {stats.refine_stats.boundary_cells} boundary cells; "
+        f"threads: {stats.n_threads}"
     )
     if args.show:
         table = db.table(args.table)
@@ -138,7 +141,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_sql(args: argparse.Namespace) -> int:
-    db = _open_db(args.db)
+    db = _open_db(args.db, threads=args.threads)
     if args.explain:
         print(db.explain(args.query))
         return 0
@@ -311,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--distance", type=float, default=0.0)
     p.add_argument("--show", type=int, default=0, help="print first N hits")
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="worker threads (default: all cores; 1 = serial)",
+    )
     p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("sql", help="run SQL on a saved database")
@@ -319,6 +328,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=20)
     p.add_argument(
         "--explain", action="store_true", help="print the plan, do not run"
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="worker threads (default: all cores; 1 = serial)",
     )
     p.set_defaults(fn=_cmd_sql)
 

@@ -4,8 +4,16 @@ MonetDB creates an imprint "when it encounters a range query for the first
 time" (Section 3.2).  :class:`ImprintsManager` reproduces that lifecycle:
 the first :meth:`range_select` on a column builds its imprint as a side
 effect; later queries reuse it; appends to the column mark it stale and the
-next query rebuilds.  Queries through the manager are therefore always
-exact, whatever the column's mutation history.
+next query brings it up to date.  Queries through the manager are therefore
+always exact, whatever the column's mutation history.
+
+Since the morsel-parallel rework the managed index is a
+:class:`~.segments.SegmentedImprints`: the initial build fans out across
+the worker pool, and an append extends the index **incrementally** — only
+the new (plus at most one trailing partial) segment is built, instead of
+the old full O(n) rebuild.  ``builds`` still counts column-level build
+events; ``segment_builds`` counts the per-segment work those events
+actually did, which is what the append-cost benches watch.
 """
 
 from __future__ import annotations
@@ -14,10 +22,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ...engine.column import Column
 from ...engine.table import Table
 from . import index as index_mod
-from .index import ColumnImprints
+from .segments import DEFAULT_SEGMENT_ROWS, SegmentedImprints
 
 
 class ImprintsManager:
@@ -25,29 +32,57 @@ class ImprintsManager:
 
     Parameters
     ----------
+    threads:
+        Default worker count for index builds and probes (``None`` =
+        engine default, ``1`` = serial).  Individual calls may override.
+    segment_rows:
+        Segment granularity of new indexes.
     build_kwargs:
-        Forwarded to :class:`ColumnImprints` (bin budget, cacheline size...).
+        Forwarded to :class:`SegmentedImprints` (bin budget, cacheline
+        size...).
     """
 
-    def __init__(self, **build_kwargs) -> None:
+    def __init__(
+        self,
+        threads: Optional[int] = None,
+        segment_rows: int = DEFAULT_SEGMENT_ROWS,
+        **build_kwargs,
+    ) -> None:
+        self.threads = threads
+        self.segment_rows = segment_rows
         self._build_kwargs = build_kwargs
-        self._imprints: Dict[tuple, ColumnImprints] = {}
-        self.builds = 0  # total index (re)builds, observable in benches
+        self._imprints: Dict[tuple, SegmentedImprints] = {}
+        self.builds = 0  # column-level index (re)build events
+        self.segment_builds = 0  # per-segment builds those events performed
 
     def _key(self, table: Table, column_name: str) -> tuple:
         return (table.name, column_name)
 
-    def get(self, table: Table, column_name: str) -> Optional[ColumnImprints]:
+    def get(self, table: Table, column_name: str) -> Optional[SegmentedImprints]:
         """The current imprint for a column, or None if never built."""
         return self._imprints.get(self._key(table, column_name))
 
-    def ensure(self, table: Table, column_name: str) -> ColumnImprints:
-        """Return a fresh imprint, building or rebuilding as needed."""
+    def ensure(
+        self, table: Table, column_name: str, threads: Optional[int] = None
+    ) -> SegmentedImprints:
+        """Return a fresh imprint, building or extending as needed."""
+        threads = threads if threads is not None else self.threads
         key = self._key(table, column_name)
         imp = self._imprints.get(key)
-        if imp is None or imp.stale:
-            imp = ColumnImprints(table.column(column_name), **self._build_kwargs)
+        if imp is None:
+            imp = SegmentedImprints(
+                table.column(column_name),
+                segment_rows=self.segment_rows,
+                threads=threads,
+                **self._build_kwargs,
+            )
             self._imprints[key] = imp
+            self.builds += 1
+            self.segment_builds += imp.n_segments
+        elif imp.stale:
+            # Incremental: only new (and one trailing partial) segments
+            # are indexed — appends no longer pay O(n).
+            self.segment_builds += imp.extend(threads=threads)
             self.builds += 1
         return imp
 
@@ -67,10 +102,20 @@ class ImprintsManager:
         hi,
         lo_inclusive: bool = True,
         hi_inclusive: bool = True,
+        threads: Optional[int] = None,
+        stats=None,
     ) -> np.ndarray:
-        """Exact range select, building the imprint on first use."""
-        imp = self.ensure(table, column_name)
-        return imp.query(lo, hi, lo_inclusive, hi_inclusive)
+        """Exact range select, building the imprint on first use.
+
+        ``stats`` (any object with ``n_segments_skipped`` /
+        ``n_segments_probed`` counters) receives the zone-map accounting
+        of the probe.
+        """
+        threads = threads if threads is not None else self.threads
+        imp = self.ensure(table, column_name, threads=threads)
+        return imp.query(
+            lo, hi, lo_inclusive, hi_inclusive, threads=threads, stats=stats
+        )
 
     @property
     def nbytes(self) -> int:
@@ -84,44 +129,61 @@ class ImprintsManager:
     # -- persistence -----------------------------------------------------------
 
     def save(self, directory) -> int:
-        """Persist every built imprint as ``<table>.<column>.imprint``.
+        """Persist every built imprint as one ``.imprint`` file per column.
 
         Returns total bytes written.  MonetDB keeps imprints next to the
         BAT files for the same reason: skip the rebuild after a restart.
+        The ``(table, column)`` key is stored in each file's header — the
+        file name is only a human-friendly hint.
         """
         from pathlib import Path
 
-        from .persist import save_imprint
+        from .persist import save_segmented
 
         root = Path(directory)
         root.mkdir(parents=True, exist_ok=True)
         total = 0
-        for (table_name, column_name), imprint in self._imprints.items():
-            path = root / f"{table_name}.{column_name}.imprint"
-            total += save_imprint(imprint, path)
+        for i, ((table_name, column_name), imprint) in enumerate(
+            sorted(self._imprints.items())
+        ):
+            safe = "".join(
+                ch if ch.isalnum() or ch in "-_" else "_"
+                for ch in f"{table_name}.{column_name}"
+            )
+            path = root / f"{i:04d}.{safe}.imprint"
+            total += save_segmented(imprint, table_name, column_name, path)
         return total
 
     def load(self, tables: Dict[str, Table], directory) -> int:
         """Restore imprints for the given tables; returns how many loaded.
 
-        Files for unknown tables/columns or with mismatched snapshots are
-        skipped — the lazy build then covers them as usual.
+        The key comes from each file's header (never from the file name,
+        which cannot round-trip dotted table names).  Files for unknown
+        tables/columns, legacy formats or mismatched snapshots are skipped
+        — the lazy build then covers them as usual.
         """
         from pathlib import Path
 
-        from .persist import ImprintPersistError, load_imprint
+        from .persist import (
+            ImprintPersistError,
+            load_segmented,
+            read_segmented_key,
+        )
 
         root = Path(directory)
         if not root.is_dir():
             return 0
         loaded = 0
         for path in sorted(root.glob("*.imprint")):
-            table_name, column_name, _suffix = path.name.rsplit(".", 2)
+            try:
+                table_name, column_name = read_segmented_key(path)
+            except ImprintPersistError:
+                continue
             table = tables.get(table_name)
             if table is None or column_name not in table:
                 continue
             try:
-                imprint = load_imprint(table.column(column_name), path)
+                imprint = load_segmented(table.column(column_name), path)
             except ImprintPersistError:
                 continue
             self._imprints[(table_name, column_name)] = imprint

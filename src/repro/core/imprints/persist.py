@@ -5,7 +5,9 @@ does not pay the (cheap, but not free) rebuild on first query.  The
 format here mirrors the column files: a small header plus the raw arrays
 of the bin scheme and the cacheline dictionary.
 
-Format (``.imprint``)::
+Two formats share the ``.imprint`` suffix:
+
+Flat (v1, magic ``RIMP``) — one :class:`ColumnImprints`::
 
     magic    4 bytes  b"RIMP"
     version  u16
@@ -14,6 +16,25 @@ Format (``.imprint``)::
     n_lines  u64
     4 framed arrays (dtype tag + length + raw bytes, as engine.storage):
       borders (f8), counters (i8), repeats (bool), vectors (u8 as u64)
+
+Segmented (v2, magic ``RIMS``) — one :class:`SegmentedImprints`::
+
+    magic         4 bytes  b"RIMS"
+    version       u16
+    vpc           u16
+    segment_rows  u64
+    n_rows        u64
+    n_segments    u32
+    table name    u16 length + utf-8 bytes
+    column name   u16 length + utf-8 bytes
+    per segment:
+      start u64, stop u64
+      5 framed arrays: minmax (column dtype, 2 values), borders,
+      counters (i8), repeats (bool), vectors (u64)
+
+The v2 header carries the ``(table, column)`` key explicitly; the
+manager's loader reads it from there instead of parsing file names
+(which breaks on table names containing dots).
 """
 
 from __future__ import annotations
@@ -34,6 +55,11 @@ PathLike = Union[str, Path]
 _MAGIC = b"RIMP"
 _VERSION = 1
 _HEADER = struct.Struct("<4sHHQQ")
+
+_MAGIC_SEG = b"RIMS"
+_VERSION_SEG = 2
+_HEADER_SEG = struct.Struct("<4sHHQQI")
+_SPAN = struct.Struct("<QQ")
 
 
 class ImprintPersistError(IOError):
@@ -131,3 +157,152 @@ def load_imprint(column: Column, path: PathLike) -> ColumnImprints:
     ):
         raise ImprintPersistError(f"{path}: dictionary does not cover {n_lines} lines")
     return imprint
+
+
+# -- segmented (v2) -------------------------------------------------------------
+
+
+def _frame_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return len(raw).to_bytes(2, "little") + raw
+
+
+def _unframe_str(raw: bytes, pos: int):
+    n = int.from_bytes(raw[pos : pos + 2], "little")
+    pos += 2
+    data = raw[pos : pos + n]
+    if len(data) != n:
+        raise ImprintPersistError("truncated imprint name")
+    return data.decode("utf-8"), pos + n
+
+
+def save_segmented(imprint, table_name: str, column_name: str, path: PathLike) -> int:
+    """Persist a :class:`SegmentedImprints`; returns bytes written.
+
+    The ``(table, column)`` key travels in the header so a loader never
+    has to reverse-engineer it from the file name.
+    """
+    header = _HEADER_SEG.pack(
+        _MAGIC_SEG,
+        _VERSION_SEG,
+        imprint.vpc,
+        imprint.segment_rows,
+        imprint.n_rows,
+        len(imprint.segments),
+    )
+    parts = [header, _frame_str(table_name), _frame_str(column_name)]
+    for seg in imprint.segments:
+        parts.append(_SPAN.pack(seg.start, seg.stop))
+        parts.append(_frame(np.asarray([seg.zmin, seg.zmax])))
+        parts.append(_frame(np.asarray(seg.scheme.borders)))
+        parts.append(_frame(seg.cdict.counters))
+        parts.append(_frame(seg.cdict.repeats))
+        parts.append(_frame(seg.cdict.vectors))
+    payload = b"".join(parts)
+    Path(path).write_bytes(payload)
+    return len(payload)
+
+
+def read_segmented_key(path: PathLike):
+    """The ``(table_name, column_name)`` key of a v2 imprint file.
+
+    Raises :class:`ImprintPersistError` for v1 or foreign files.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read(_HEADER_SEG.size + 4 + 2 * 65536)
+    except FileNotFoundError:
+        raise ImprintPersistError(f"no imprint file at {path}") from None
+    if len(raw) < _HEADER_SEG.size:
+        raise ImprintPersistError(f"{path}: truncated header")
+    magic, version, *_rest = _HEADER_SEG.unpack(raw[: _HEADER_SEG.size])
+    if magic != _MAGIC_SEG:
+        raise ImprintPersistError(f"{path}: not a segmented imprint ({magic!r})")
+    if version != _VERSION_SEG:
+        raise ImprintPersistError(f"{path}: unsupported version {version}")
+    table_name, pos = _unframe_str(raw, _HEADER_SEG.size)
+    column_name, _pos = _unframe_str(raw, pos)
+    return table_name, column_name
+
+
+def load_segmented(column: Column, path: PathLike):
+    """Restore a :class:`SegmentedImprints` over its column.
+
+    Same staleness contract as :func:`load_imprint`: a grown column loads
+    as a stale index (the manager extends it), a shorter column is
+    rejected as foreign data.
+    """
+    from .dictionary import CachelineDict as _CachelineDict
+    from .segments import SegmentImprint, SegmentedImprints
+
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise ImprintPersistError(f"no imprint file at {path}") from None
+    if len(raw) < _HEADER_SEG.size:
+        raise ImprintPersistError(f"{path}: truncated header")
+    magic, version, vpc, segment_rows, n_rows, n_segments = _HEADER_SEG.unpack(
+        raw[: _HEADER_SEG.size]
+    )
+    if magic != _MAGIC_SEG:
+        raise ImprintPersistError(f"{path}: bad magic {magic!r}")
+    if version != _VERSION_SEG:
+        raise ImprintPersistError(f"{path}: unsupported version {version}")
+    if n_rows > len(column):
+        raise ImprintPersistError(
+            f"{path}: imprint indexes {n_rows} rows but column "
+            f"{column.name!r} holds only {len(column)}"
+        )
+    pos = _HEADER_SEG.size
+    _table_name, pos = _unframe_str(raw, pos)
+    _column_name, pos = _unframe_str(raw, pos)
+    segments = []
+    covered = 0
+    for _ in range(n_segments):
+        if len(raw) < pos + _SPAN.size:
+            raise ImprintPersistError(f"{path}: truncated segment header")
+        start, stop = _SPAN.unpack(raw[pos : pos + _SPAN.size])
+        pos += _SPAN.size
+        minmax, pos = _unframe(raw, pos)
+        borders, pos = _unframe(raw, pos)
+        counters, pos = _unframe(raw, pos)
+        repeats, pos = _unframe(raw, pos)
+        vectors, pos = _unframe(raw, pos)
+        if minmax.shape[0] != 2 or start != covered or stop <= start:
+            raise ImprintPersistError(f"{path}: inconsistent segment spans")
+        cdict = _CachelineDict(
+            counters=counters.astype(np.int64),
+            repeats=repeats.astype(bool),
+            vectors=vectors.astype(np.uint64),
+            n_lines=(stop - start + vpc - 1) // vpc,
+        )
+        coverage = cdict.coverage()
+        if int(coverage.sum() if coverage.shape[0] else 0) != cdict.n_lines:
+            raise ImprintPersistError(
+                f"{path}: dictionary does not cover segment [{start}, {stop})"
+            )
+        segments.append(
+            SegmentImprint(
+                start=int(start),
+                stop=int(stop),
+                zmin=minmax[0],
+                zmax=minmax[1],
+                scheme=BinScheme(borders=borders),
+                cdict=cdict,
+                coverage=coverage,
+            )
+        )
+        covered = stop
+    if covered != n_rows:
+        raise ImprintPersistError(
+            f"{path}: segments cover {covered} rows, header says {n_rows}"
+        )
+    return SegmentedImprints.from_parts(
+        column,
+        vpc=int(vpc),
+        segment_rows=int(segment_rows),
+        n_rows=int(n_rows),
+        segments=segments,
+    )

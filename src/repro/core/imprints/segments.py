@@ -1,0 +1,413 @@
+"""Segmented column imprints: zone maps + per-segment imprint vectors.
+
+The flat :class:`~.index.ColumnImprints` indexes a column as one unit, so
+every append forces an O(n) rebuild and every probe walks the whole
+vector sequence single-threaded.  :class:`SegmentedImprints` cuts the
+column into fixed-size, cacheline-aligned **segments** and gives each one
+
+* a ``(min, max)`` **zone map** — queries skip a segment (or accept it
+  wholesale) without touching its imprint or its data, and
+* its own bin scheme + imprint vectors + cacheline dictionary, built from
+  that segment's values only.
+
+Segments are the unit of everything the engine wants to scale:
+
+* **build** — segments are independent, so the first range query fans the
+  imprint construction out across the worker pool;
+* **append** — new rows only ever create (or complete) trailing segments;
+  the existing ones are immutable, so ``extend`` is O(appended), not O(n);
+* **probe** — each segment's probe + exact verification is a morsel that a
+  worker can run in isolation, and per-segment results concatenate in
+  segment order into the usual sorted candidate list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ...engine.column import Column
+from ...engine.parallel import run_tasks
+from . import bitvec, dictionary
+from .histogram import DEFAULT_SAMPLE, MAX_BINS, BinScheme, build_bins
+from .index import ImprintStats
+
+#: Default segment length in rows.  A multiple of 64 so it is aligned to
+#: whole cache lines for every supported dtype (vpc is a power of two
+#: <= 64 at the default cacheline size), and big enough that per-segment
+#: Python overhead stays far below the numpy kernels it wraps.
+DEFAULT_SEGMENT_ROWS = 64 * 1024
+
+#: Zone-map verdicts (module-private ints, cheaper than an Enum in the
+#: per-query classify loop).
+_SKIP, _FULL, _PROBE = 0, 1, 2
+
+
+@dataclass
+class SegmentImprint:
+    """One immutable segment of a segmented imprints index.
+
+    ``start``/``stop`` are row positions in the column; ``zmin``/``zmax``
+    the segment's value range (the zone map); the rest is exactly the
+    per-column state of :class:`~.index.ColumnImprints`, scoped to the
+    segment's rows.
+    """
+
+    start: int
+    stop: int
+    zmin: object
+    zmax: object
+    scheme: BinScheme
+    cdict: dictionary.CachelineDict
+    coverage: np.ndarray
+
+    @property
+    def n_rows(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def n_lines(self) -> int:
+        return self.cdict.n_lines
+
+    @property
+    def nbytes(self) -> int:
+        """Dictionary + borders + the two zone-map values (16 bytes)."""
+        return self.cdict.nbytes + self.scheme.nbytes + 16
+
+
+def build_segment(
+    values: np.ndarray,
+    start: int,
+    stop: int,
+    vpc: int,
+    max_bins: int = MAX_BINS,
+    sample_size: int = DEFAULT_SAMPLE,
+    max_counter: int = dictionary.MAX_COUNTER,
+) -> SegmentImprint:
+    """Build one segment's imprint from the column slice ``[start, stop)``.
+
+    Pure function of the slice — safe to run on any worker thread.  Each
+    build seeds its own sampling RNG, so parallel and serial builds produce
+    identical indexes.
+    """
+    part = values[start:stop]
+    scheme = build_bins(part, max_bins=max_bins, sample_size=sample_size)
+    vectors = bitvec.build_vectors(part, scheme, vpc)
+    cdict = dictionary.compress(vectors, max_counter=max_counter)
+    return SegmentImprint(
+        start=start,
+        stop=stop,
+        zmin=part.min(),
+        zmax=part.max(),
+        scheme=scheme,
+        cdict=cdict,
+        coverage=cdict.coverage(),
+    )
+
+
+class SegmentedImprints:
+    """A segmented imprints index over a snapshot of one column.
+
+    Drop-in successor to :class:`~.index.ColumnImprints` behind the
+    :class:`~.manager.ImprintsManager`: same exact-query contract (sorted
+    oids over the indexed prefix), plus segment-granular builds, appends
+    and parallel probes.
+
+    Parameters
+    ----------
+    column:
+        The column to index (snapshot length recorded at build time).
+    segment_rows:
+        Segment length in rows; rounded up to a whole number of cache
+        lines so segment borders never split an imprint vector.
+    threads:
+        Worker count for the initial build (``None`` = engine default,
+        ``1`` = serial).
+    max_bins, cacheline_bytes, sample_size, max_counter:
+        Per-segment build parameters, as for :class:`ColumnImprints`.
+    """
+
+    def __init__(
+        self,
+        column: Column,
+        segment_rows: int = DEFAULT_SEGMENT_ROWS,
+        threads: Optional[int] = None,
+        max_bins: int = MAX_BINS,
+        cacheline_bytes: int = bitvec.CACHELINE_BYTES,
+        sample_size: int = DEFAULT_SAMPLE,
+        max_counter: int = dictionary.MAX_COUNTER,
+    ) -> None:
+        if len(column) == 0:
+            raise ValueError("cannot build imprints over an empty column")
+        if segment_rows < 1:
+            raise ValueError("segment_rows must be positive")
+        self.column = column
+        self.vpc = bitvec.values_per_cacheline(
+            column.dtype.itemsize, cacheline_bytes
+        )
+        # Align segments to whole cache lines.
+        self.segment_rows = ((segment_rows + self.vpc - 1) // self.vpc) * self.vpc
+        self.max_bins = max_bins
+        self.sample_size = sample_size
+        self.max_counter = max_counter
+        self.segments: List[SegmentImprint] = []
+        self.n_rows = 0
+        self.extend(threads=threads)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_parts(
+        cls,
+        column: Column,
+        vpc: int,
+        segment_rows: int,
+        n_rows: int,
+        segments: List[SegmentImprint],
+    ) -> "SegmentedImprints":
+        """Reassemble an index from persisted parts (see ``persist``)."""
+        instance = cls.__new__(cls)
+        instance.column = column
+        instance.vpc = vpc
+        instance.segment_rows = segment_rows
+        instance.max_bins = MAX_BINS
+        instance.sample_size = DEFAULT_SAMPLE
+        instance.max_counter = dictionary.MAX_COUNTER
+        instance.segments = segments
+        instance.n_rows = n_rows
+        return instance
+
+    def extend(self, threads: Optional[int] = None) -> int:
+        """Index rows appended since the last build; returns segments built.
+
+        Existing full segments are immutable and untouched.  A trailing
+        *partial* segment is rebuilt (bounded by ``segment_rows``, so still
+        O(appended + one segment)); everything beyond it is new.  The
+        per-segment builds fan out over the worker pool.
+        """
+        values = np.asarray(self.column.values)
+        n = values.shape[0]
+        if n == self.n_rows:
+            return 0
+        if n < self.n_rows:
+            # Columns are append-only; a shrunk column means this index
+            # belongs to different data.  Rebuild from scratch.
+            self.segments = []
+            self.n_rows = 0
+        if self.segments and self.segments[-1].n_rows < self.segment_rows:
+            rebuild_from = self.segments.pop().start
+        else:
+            rebuild_from = self.n_rows
+        spans = [
+            (start, min(start + self.segment_rows, n))
+            for start in range(rebuild_from, n, self.segment_rows)
+        ]
+        built = run_tasks(
+            lambda span: build_segment(
+                values,
+                span[0],
+                span[1],
+                self.vpc,
+                max_bins=self.max_bins,
+                sample_size=self.sample_size,
+                max_counter=self.max_counter,
+            ),
+            spans,
+            threads=threads,
+        )
+        self.segments.extend(built)
+        self.n_rows = n
+        return len(spans)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def n_lines(self) -> int:
+        return sum(seg.n_lines for seg in self.segments)
+
+    @property
+    def stale(self) -> bool:
+        """True when the column has grown past the indexed snapshot."""
+        return len(self.column) != self.n_rows
+
+    @property
+    def nbytes(self) -> int:
+        """Total index bytes across all segments."""
+        return sum(seg.nbytes for seg in self.segments)
+
+    def stats(self) -> ImprintStats:
+        """Aggregate :class:`ImprintStats` over all segments."""
+        return ImprintStats(
+            n_rows=self.n_rows,
+            n_lines=self.n_lines,
+            n_bins=max((seg.scheme.n_bins for seg in self.segments), default=0),
+            n_entries=sum(seg.cdict.n_entries for seg in self.segments),
+            n_vectors=sum(
+                seg.cdict.vectors.shape[0] for seg in self.segments
+            ),
+            index_bytes=self.nbytes,
+            column_bytes=self.n_rows * self.column.dtype.itemsize,
+        )
+
+    # -- query -----------------------------------------------------------------
+
+    def _classify(self, seg: SegmentImprint, lo, hi, lo_inc: bool, hi_inc: bool) -> int:
+        """Zone-map verdict for one segment (skip / accept whole / probe).
+
+        NaN zone maps compare false everywhere and land on PROBE, so NaN
+        data costs time, never correctness.
+        """
+        if lo is not None and (seg.zmax < lo or (not lo_inc and seg.zmax <= lo)):
+            return _SKIP
+        if hi is not None and (seg.zmin > hi or (not hi_inc and seg.zmin >= hi)):
+            return _SKIP
+        lo_ok = lo is None or (seg.zmin >= lo if lo_inc else seg.zmin > lo)
+        hi_ok = hi is None or (seg.zmax <= hi if hi_inc else seg.zmax < hi)
+        if lo_ok and hi_ok:
+            return _FULL
+        return _PROBE
+
+    def _candidate_lines(self, seg: SegmentImprint, lo, hi) -> np.ndarray:
+        """Local candidate-line indices for one probed segment."""
+        mask = seg.scheme.range_mask(lo, hi)
+        if mask == 0:
+            return np.empty(0, dtype=np.int64)
+        vec_match = bitvec.match_vectors(seg.cdict.vectors, mask)
+        if seg.cdict.vectors.shape[0] != seg.n_lines:
+            vec_match = np.repeat(vec_match, seg.coverage)
+        return np.flatnonzero(vec_match)
+
+    def _probe(
+        self, values: np.ndarray, seg: SegmentImprint, lo, hi, lo_inc: bool, hi_inc: bool
+    ) -> np.ndarray:
+        """Exact oids for one probed segment: imprint probe + verification."""
+        lines = self._candidate_lines(seg, lo, hi)
+        if lines.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        part = values[seg.start : seg.stop]
+        vpc = self.vpc
+        n_seg = seg.n_rows
+
+        def check(vals: np.ndarray) -> np.ndarray:
+            mask = np.ones(vals.shape, dtype=bool)
+            if lo is not None:
+                mask &= (vals >= lo) if lo_inc else (vals > lo)
+            if hi is not None:
+                mask &= (vals <= hi) if hi_inc else (vals < hi)
+            return mask
+
+        n_full = n_seg // vpc
+        full_lines = lines[lines < n_full]
+        pieces = []
+        if full_lines.shape[0]:
+            blocks = part[: n_full * vpc].reshape(n_full, vpc)[full_lines]
+            hit = check(blocks)
+            base = full_lines * vpc
+            pieces.append((base[:, None] + np.arange(vpc, dtype=np.int64))[hit])
+        if lines[-1] >= n_full and n_seg > n_full * vpc:
+            tail = part[n_full * vpc : n_seg]
+            pieces.append(np.flatnonzero(check(tail)) + n_full * vpc)
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        local = np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+        return local + seg.start
+
+    def query(
+        self,
+        lo,
+        hi,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+        threads: Optional[int] = None,
+        stats=None,
+    ) -> np.ndarray:
+        """Exact range select over the indexed prefix, sorted oids.
+
+        Zone maps first: disjoint segments are skipped and fully-covered
+        segments accepted wholesale, both without touching data.  Only the
+        straddling segments pay an imprint probe + exact verification, and
+        those probes fan out over ``threads`` workers.  ``stats`` (any
+        object with ``n_segments_skipped`` / ``n_segments_probed``
+        counters, e.g. :class:`~..query.QueryStats`) receives the zone-map
+        accounting.
+        """
+        values = np.asarray(self.column.values)
+        verdicts = [
+            self._classify(seg, lo, hi, lo_inclusive, hi_inclusive)
+            for seg in self.segments
+        ]
+        probe_segments = [
+            seg for seg, v in zip(self.segments, verdicts) if v == _PROBE
+        ]
+        if stats is not None:
+            stats.n_segments_probed += len(probe_segments)
+            stats.n_segments_skipped += len(verdicts) - len(probe_segments)
+        probed = run_tasks(
+            lambda seg: self._probe(values, seg, lo, hi, lo_inclusive, hi_inclusive),
+            probe_segments,
+            threads=threads,
+        )
+        probed_iter = iter(probed)
+        pieces = []
+        for seg, verdict in zip(self.segments, verdicts):
+            if verdict == _FULL:
+                pieces.append(np.arange(seg.start, seg.stop, dtype=np.int64))
+            elif verdict == _PROBE:
+                piece = next(probed_iter)
+                if piece.shape[0]:
+                    pieces.append(piece)
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def candidate_rows(self, lo, hi) -> np.ndarray:
+        """Candidate oids (superset of the exact result), sorted."""
+        pieces = []
+        for seg in self.segments:
+            verdict = self._classify(seg, lo, hi, True, True)
+            if verdict == _SKIP:
+                continue
+            if verdict == _FULL:
+                pieces.append(np.arange(seg.start, seg.stop, dtype=np.int64))
+                continue
+            lines = self._candidate_lines(seg, lo, hi)
+            if lines.shape[0] == 0:
+                continue
+            rows = (
+                lines[:, None] * self.vpc + np.arange(self.vpc, dtype=np.int64)
+            ).ravel() + seg.start
+            pieces.append(rows[rows < seg.stop])
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+
+    def scanned_fraction(self, lo, hi) -> float:
+        """Fraction of cache lines whose *data* the query must touch.
+
+        Zone-map skips and wholesale accepts both cost zero data access,
+        so only probed segments' candidate lines count.
+        """
+        total = self.n_lines
+        if total == 0:
+            return 0.0
+        touched = 0
+        for seg in self.segments:
+            if self._classify(seg, lo, hi, True, True) == _PROBE:
+                touched += int(self._candidate_lines(seg, lo, hi).shape[0])
+        return touched / total
+
+    def false_positive_rate(self, lo, hi) -> float:
+        """Fraction of candidate rows the exact check discards."""
+        rows = self.candidate_rows(lo, hi)
+        if rows.shape[0] == 0:
+            return 0.0
+        exact = self.query(lo, hi)
+        return 1.0 - exact.shape[0] / rows.shape[0]

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..engine.parallel import resolve_threads
 from ..engine.select import intersect_candidates, mask_select, range_select
 from ..engine.table import Table
 from ..gis.envelope import Box
@@ -42,6 +43,13 @@ class QueryStats:
     n_filter_candidates: int = 0
     n_results: int = 0
     used_imprints: bool = True
+    #: Worker count the query ran with (1 = the serial path).
+    n_threads: int = 1
+    #: Imprint segments the zone maps answered outright (disjoint range or
+    #: whole-segment accept) — no imprint probe, no data access.
+    n_segments_skipped: int = 0
+    #: Imprint segments that paid a probe + exact candidate verification.
+    n_segments_probed: int = 0
     refine_stats: RefineStats = field(default_factory=RefineStats)
 
     @property
@@ -82,6 +90,10 @@ class SpatialSelect:
         where imprints belong to the column, not to the query.
     target_cells:
         Refinement grid budget.
+    threads:
+        Default worker count for this select's queries (``None`` = engine
+        default, i.e. all cores; ``1`` = the exact serial path).  Each
+        ``query`` call may override it.
     """
 
     def __init__(
@@ -91,16 +103,24 @@ class SpatialSelect:
         y_column: str = "y",
         manager: Optional[ImprintsManager] = None,
         target_cells: int = DEFAULT_TARGET_CELLS,
+        threads: Optional[int] = None,
     ) -> None:
         self.table = table
         self.x_column = x_column
         self.y_column = y_column
         self.manager = manager if manager is not None else ImprintsManager()
         self.target_cells = target_cells
+        self.threads = threads
 
     # -- the two steps ---------------------------------------------------------
 
-    def _filter(self, env: Box, use_imprints: bool) -> np.ndarray:
+    def _filter(
+        self,
+        env: Box,
+        use_imprints: bool,
+        threads: Optional[int] = None,
+        stats: Optional[QueryStats] = None,
+    ) -> np.ndarray:
         """Candidate rows whose (x, y) lies in the query envelope.
 
         MonetDB-style cascade: the first select probes the column imprint,
@@ -124,11 +144,20 @@ class SpatialSelect:
 
         if use_imprints:
             first = self.manager.range_select(
-                self.table, first_name, first_lo, first_hi
+                self.table,
+                first_name,
+                first_lo,
+                first_hi,
+                threads=threads,
+                stats=stats,
             )
         else:
-            first = range_select(self.table.column(first_name), first_lo, first_hi)
-        return range_select(second_col, second_lo, second_hi, candidates=first)
+            first = range_select(
+                self.table.column(first_name), first_lo, first_hi, threads=threads
+            )
+        return range_select(
+            second_col, second_lo, second_hi, candidates=first, threads=threads
+        )
 
     def query(
         self,
@@ -139,6 +168,7 @@ class SpatialSelect:
         use_grid: bool = True,
         z_column: Optional[str] = None,
         z_range: Optional[tuple] = None,
+        threads: Optional[int] = None,
     ) -> QueryResult:
         """Rows whose point satisfies ``predicate`` against ``geometry``.
 
@@ -152,7 +182,12 @@ class SpatialSelect:
         conclusions motivate ("enable 3D operations and analyses"): the
         elevation slab is filtered through the z column's imprint and
         intersected with the 2-D candidates before refinement.
+
+        ``threads`` overrides the select's default worker count for this
+        query only; whatever the value, the oid array is identical to the
+        serial (``threads=1``) result.
         """
+        threads = threads if threads is not None else self.threads
         if len(self.table) == 0:
             return QueryResult(
                 oids=np.empty(0, dtype=np.int64),
@@ -162,14 +197,24 @@ class SpatialSelect:
         if predicate == "dwithin":
             env = env.expand(distance)
 
+        stats = QueryStats(
+            n_rows=len(self.table),
+            used_imprints=use_imprints,
+            n_threads=resolve_threads(threads),
+        )
         t0 = time.perf_counter()
-        candidates = self._filter(env, use_imprints)
+        candidates = self._filter(env, use_imprints, threads=threads, stats=stats)
         if z_range is not None:
             zmin, zmax = z_range
             column_name = z_column if z_column is not None else "z"
             if use_imprints:
                 z_cands = self.manager.range_select(
-                    self.table, column_name, zmin, zmax
+                    self.table,
+                    column_name,
+                    zmin,
+                    zmax,
+                    threads=threads,
+                    stats=stats,
                 )
                 candidates = intersect_candidates(candidates, z_cands)
             else:
@@ -178,15 +223,12 @@ class SpatialSelect:
                     zmin,
                     zmax,
                     candidates=candidates,
+                    threads=threads,
                 )
         t1 = time.perf_counter()
 
-        stats = QueryStats(
-            filter_seconds=t1 - t0,
-            n_rows=len(self.table),
-            n_filter_candidates=int(candidates.shape[0]),
-            used_imprints=use_imprints,
-        )
+        stats.filter_seconds = t1 - t0
+        stats.n_filter_candidates = int(candidates.shape[0])
 
         # A box query with a containment predicate *is* its own envelope
         # test: the filter step is already exact, skip refinement.
@@ -208,10 +250,11 @@ class SpatialSelect:
                 predicate,
                 distance,
                 target_cells=self.target_cells,
+                threads=threads,
             )
         else:
             mask, refine_stats = refine_exhaustive(
-                xs, ys, geometry, predicate, distance
+                xs, ys, geometry, predicate, distance, threads=threads
             )
         t2 = time.perf_counter()
 

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from . import parallel
 from .column import Column
 
 #: Comparison operators accepted by :func:`theta_select`.
@@ -36,23 +37,51 @@ def _as_candidates(mask: np.ndarray, candidates: Optional[np.ndarray]) -> np.nda
     return candidates[hits]
 
 
+def _morsel_mask(
+    vals: np.ndarray,
+    kernel: Callable[[np.ndarray], np.ndarray],
+    threads: Optional[int],
+) -> np.ndarray:
+    """Evaluate a boolean kernel over ``vals``, morsel-parallel when useful.
+
+    Each morsel writes its disjoint slice of one preallocated mask, so the
+    result is bit-identical to the serial evaluation whatever the worker
+    interleaving.
+    """
+    n = vals.shape[0]
+    n_threads = parallel.resolve_threads(threads)
+    if n_threads <= 1 or n < 2 * parallel.MIN_PARALLEL_ROWS:
+        return kernel(vals)
+    mask = np.empty(n, dtype=bool)
+
+    def scan(span):
+        start, stop = span
+        mask[start:stop] = kernel(vals[start:stop])
+
+    parallel.run_tasks(scan, parallel.morsels(n), threads=n_threads)
+    return mask
+
+
 def theta_select(
     column: Column,
     op: str,
     constant,
     candidates: Optional[np.ndarray] = None,
+    threads: Optional[int] = None,
 ) -> np.ndarray:
     """Rows where ``column <op> constant`` holds, as a sorted oid array.
 
     When ``candidates`` is given, only those rows are inspected and the
-    result is a subset of them (preserving order).
+    result is a subset of them (preserving order).  ``threads`` fans the
+    comparison out over morsels (``1`` = the exact serial path).
     """
     try:
         fn = _THETA_OPS[op]
     except KeyError:
         raise ValueError(f"unknown theta operator {op!r}") from None
     vals = column.values if candidates is None else column.take(candidates)
-    return _as_candidates(fn(vals, constant), candidates)
+    mask = _morsel_mask(vals, lambda part: fn(part, constant), threads)
+    return _as_candidates(mask, candidates)
 
 
 def range_select(
@@ -62,20 +91,27 @@ def range_select(
     lo_inclusive: bool = True,
     hi_inclusive: bool = True,
     candidates: Optional[np.ndarray] = None,
+    threads: Optional[int] = None,
 ) -> np.ndarray:
     """Rows with ``lo <(=) column <(=) hi`` as a sorted oid array.
 
     Either bound may be ``None`` for a half-open range.  This is the scan
     equivalent of an imprints probe and is used both as the fallback path
-    and as the exactness reference in tests.
+    and as the exactness reference in tests.  ``threads`` splits the scan
+    into morsels across the worker pool (``1`` = the exact serial path);
+    the reassembled result is identical either way.
     """
     vals = column.values if candidates is None else column.take(candidates)
-    mask = np.ones(vals.shape[0], dtype=bool)
-    if lo is not None:
-        mask &= (vals >= lo) if lo_inclusive else (vals > lo)
-    if hi is not None:
-        mask &= (vals <= hi) if hi_inclusive else (vals < hi)
-    return _as_candidates(mask, candidates)
+
+    def kernel(part: np.ndarray) -> np.ndarray:
+        mask = np.ones(part.shape[0], dtype=bool)
+        if lo is not None:
+            mask &= (part >= lo) if lo_inclusive else (part > lo)
+        if hi is not None:
+            mask &= (part <= hi) if hi_inclusive else (part < hi)
+        return mask
+
+    return _as_candidates(_morsel_mask(vals, kernel, threads), candidates)
 
 
 def mask_select(

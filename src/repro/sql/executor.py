@@ -145,7 +145,11 @@ class Session:
             x_col, y_col = point_columns
             if x_col in table and y_col in table:
                 spatial = SpatialSelect(
-                    table, x_column=x_col, y_column=y_col, manager=self.manager
+                    table,
+                    x_column=x_col,
+                    y_column=y_col,
+                    manager=self.manager,
+                    threads=self.manager.threads,
                 )
         relation = Relation(
             name=table.name,

@@ -6,6 +6,7 @@ here; the long ones (500k-1M point renders) are exercised manually and
 by the benchmarks.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,15 +14,23 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
 
 
 def run_example(name: str, tmp_path, *args, timeout=420):
+    # The examples import `repro` from the source tree; the subprocess does
+    # not inherit pytest's import path, so prepend src/ explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         cwd=tmp_path,
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
