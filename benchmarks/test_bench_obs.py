@@ -1,0 +1,78 @@
+"""Observability overhead — tracing must be free when it is off.
+
+The span sites sit on the hottest paths in the engine (per-phase in the
+two-step query, per-morsel in the pool), so the disabled cost has to be
+one attribute check.  The smoke test counts the span sites an E4-style
+query actually crosses (by running it once with tracing on), measures
+the per-site disabled cost directly, and asserts the product stays
+under 2% of the query's wall-clock time.
+"""
+
+import time
+
+from repro.bench.harness import best_of
+from repro.bench.workloads import standard_queries
+from repro.obs.trace import get_tracer, maybe_span
+
+#: The budget from the issue: tracing disabled must cost < 2%.
+OVERHEAD_BUDGET = 0.02
+
+
+def _noop_span_seconds(iterations: int = 20_000) -> float:
+    """Mean cost of one disabled maybe_span() enter/exit + set()."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with maybe_span("bench.noop", key="value") as span:
+            span.set(rows_out=1)
+    return (time.perf_counter() - t0) / iterations
+
+
+def _query(flat_db, spec, threads=None):
+    return flat_db.spatial_select(
+        "ahn2", spec.geometry, spec.predicate, spec.distance, threads=threads
+    )
+
+
+def test_disabled_tracing_overhead(flat_db, extent):
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    spec = next(
+        s for s in standard_queries(extent, seed=3) if s.name == "rect_large"
+    )
+    try:
+        # Span sites this query crosses, counted from a traced run.  The
+        # count overestimates the disabled cost: per-morsel spans only
+        # exist while recording (run_tasks skips them entirely when off).
+        with tracer.capture() as spans:
+            _query(flat_db, spec)
+        n_spans = len(spans)
+
+        tracer.disable()
+        query_seconds = best_of(lambda: _query(flat_db, spec), repeats=5)
+        span_seconds = min(_noop_span_seconds() for _ in range(5))
+    finally:
+        if was_enabled:
+            tracer.enable()
+        else:
+            tracer.disable()
+
+    overhead = n_spans * span_seconds
+    assert overhead < OVERHEAD_BUDGET * query_seconds, (
+        f"disabled tracing would add {overhead * 1e6:.1f}us per query "
+        f"({n_spans} span sites x {span_seconds * 1e9:.0f}ns = "
+        f"{overhead / query_seconds * 100:.2f}% of "
+        f"{query_seconds * 1e3:.3f}ms), budget is "
+        f"{OVERHEAD_BUDGET * 100:.0f}%"
+    )
+
+
+def test_enabled_tracing_records_query_tree(flat_db, extent):
+    tracer = get_tracer()
+    spec = next(
+        s for s in standard_queries(extent, seed=3) if s.name == "rect_medium"
+    )
+    with tracer.capture() as spans:
+        _query(flat_db, spec)
+    names = {span.name for span in spans}
+    assert "query.spatial" in names
+    assert "query.filter" in names

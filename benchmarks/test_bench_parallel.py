@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.bench.parallel_scaling import (
     DEFAULT_THREADS,
     machine_info,
+    metrics_snapshot,
     sweep,
     write_report,
 )
@@ -66,6 +67,7 @@ def test_thread_scaling_report(flat_db, extent):
         "repeats": REPEATS,
         "machine": machine_info(),
         "queries": queries,
+        "metrics": metrics_snapshot(),
     }
     out = write_report(REPO_ROOT / "BENCH_parallel.json", payload)
     if os.environ.get("REPRO_BENCH_DIR"):

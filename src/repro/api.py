@@ -27,6 +27,8 @@ from .core.query import QueryResult, SpatialSelect
 from .engine.catalog import Database
 from .engine.table import Table
 from .las.binloader import LoadStats, create_flat_table, load_arrays, load_files
+from .obs.metrics import get_registry
+from .obs.trace import get_tracer
 from .sql.executor import Result, Session
 
 PathLike = Union[str, Path]
@@ -43,18 +45,26 @@ class PointCloudDB:
         Default worker count for imprint builds and query execution
         (``None`` = all cores, ``1`` = serial).  Every query may override
         it with ``threads=``; results are identical either way.
+    tracing:
+        ``True`` enables the process-wide span tracer (``False`` disables
+        it); ``None`` leaves it as-is (the ``REPRO_TRACE`` env var
+        default).  Tracing off costs one attribute check per span site.
     """
 
     def __init__(
         self,
         directory: Optional[PathLike] = None,
         threads: Optional[int] = None,
+        tracing: Optional[bool] = None,
     ) -> None:
         self.db = Database(directory=directory)
         self.threads = threads
         self.manager = ImprintsManager(threads=threads)
         self._selects: Dict[str, SpatialSelect] = {}
         self._vector_relations: Dict[str, Dict] = {}
+        if tracing is not None:
+            tracer = get_tracer()
+            tracer.enable() if tracing else tracer.disable()
 
     # -- point clouds ------------------------------------------------------------
 
@@ -137,6 +147,21 @@ class PointCloudDB:
     def explain(self, query: str) -> str:
         """The query's plan as text (which indexes it would use)."""
         return self._session().explain(query)
+
+    def explain_analyze(self, query: str) -> str:
+        """Run the query under the tracer; per-operator tree with timings,
+        cardinalities and imprint segment counts."""
+        return self._session().explain_analyze(query)
+
+    # -- observability ----------------------------------------------------------------
+
+    def trace_spans(self):
+        """Finished spans currently in the tracer's ring buffer."""
+        return get_tracer().spans()
+
+    def metrics(self) -> Dict[str, Dict]:
+        """Snapshot of the process-wide metrics registry."""
+        return get_registry().snapshot()
 
     # -- reporting ----------------------------------------------------------------------
 

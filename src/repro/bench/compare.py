@@ -1,0 +1,121 @@
+"""Compare two bench reports and flag timing regressions.
+
+CI runs the bench suite on every push; this tool diffs the fresh
+``BENCH_*.json`` against a committed baseline so a slowdown shows up in
+the run that caused it, not three PRs later::
+
+    python -m repro.bench.compare baseline.json current.json
+    python -m repro.bench.compare baseline.json current.json --soft
+
+A (query, threads) cell regresses when its seconds exceed the baseline
+by more than ``--threshold`` (default 15%).  The default exit code is 1
+on any regression; ``--soft`` always exits 0 and emits GitHub Actions
+``::warning::`` annotations instead, for machines (shared CI runners)
+whose timings are too noisy to gate on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Regression threshold as a fraction of the baseline time.
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_timings(path) -> Dict[Tuple[str, int], float]:
+    """``{(query_name, threads): seconds}`` from a bench report."""
+    payload = json.loads(Path(path).read_text())
+    timings: Dict[Tuple[str, int], float] = {}
+    for query in payload.get("queries", []):
+        for row in query.get("timings", []):
+            timings[(query["name"], int(row["threads"]))] = float(row["seconds"])
+    return timings
+
+
+def compare(
+    baseline: Dict[Tuple[str, int], float],
+    current: Dict[Tuple[str, int], float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[dict]:
+    """Per-cell comparison rows for every key the two reports share.
+
+    Cells present in only one report are skipped — workloads may grow or
+    shrink between commits without that being a timing regression.
+    """
+    rows: List[dict] = []
+    for key in sorted(set(baseline) & set(current)):
+        base, cur = baseline[key], current[key]
+        ratio = cur / base if base > 0 else float("inf")
+        rows.append(
+            {
+                "query": key[0],
+                "threads": key[1],
+                "baseline_seconds": base,
+                "current_seconds": cur,
+                "ratio": ratio,
+                "regressed": ratio > 1.0 + threshold,
+            }
+        )
+    return rows
+
+
+def format_row(row: dict) -> str:
+    mark = "REGRESSED" if row["regressed"] else "ok"
+    return (
+        f"{row['query']:<24} threads={row['threads']:<3} "
+        f"{row['baseline_seconds'] * 1e3:9.3f} ms -> "
+        f"{row['current_seconds'] * 1e3:9.3f} ms "
+        f"({row['ratio']:5.2f}x)  {mark}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="diff two bench JSON reports, flag timing regressions",
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="regression threshold as a fraction (default 0.15 = +15%%)",
+    )
+    parser.add_argument(
+        "--soft",
+        action="store_true",
+        help="exit 0 even on regressions; emit ::warning:: annotations",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_timings(args.baseline)
+    current = load_timings(args.current)
+    if not baseline or not current:
+        print("compare: no shared timings to compare", file=sys.stderr)
+        return 0 if args.soft else 2
+
+    rows = compare(baseline, current, threshold=args.threshold)
+    for row in rows:
+        print(format_row(row))
+    regressions = [row for row in rows if row["regressed"]]
+    print(
+        f"{len(rows)} cells compared, {len(regressions)} regressed "
+        f"(threshold +{args.threshold * 100:.0f}%)"
+    )
+    if regressions and args.soft:
+        for row in regressions:
+            print(
+                f"::warning::bench regression {row['query']} "
+                f"threads={row['threads']}: {row['ratio']:.2f}x baseline"
+            )
+        return 0
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

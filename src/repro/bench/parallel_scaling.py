@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Sequence
 import numpy as np
 
 from ..engine.parallel import hardware_threads
+from ..obs.metrics import get_registry
 from .harness import best_of
 
 DEFAULT_THREADS = (1, 2, 4, 8)
@@ -31,6 +32,17 @@ def machine_info() -> Dict[str, object]:
         "python": sys.version.split()[0],
         "numpy": np.__version__,
     }
+
+
+def metrics_snapshot() -> Dict[str, object]:
+    """The metrics registry's current state, for embedding in reports.
+
+    Gives bench JSON the work counters behind the timings — segments
+    skipped vs probed, imprint builds, latency histogram percentiles —
+    so a regression diff can say *why* a number moved, not just that it
+    did.
+    """
+    return get_registry().snapshot()
 
 
 def sweep(

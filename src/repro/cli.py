@@ -120,9 +120,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - start
     print(f"{len(result)} points in {elapsed * 1e3:.2f} ms")
     stats = result.stats
+    selectivity = stats.filter_selectivity
+    sel_text = (
+        "-" if selectivity != selectivity  # NaN: empty table
+        else f"{selectivity * 100:.2f}%"
+    )
     print(
         f"filter: {stats.n_filter_candidates} candidates "
-        f"({stats.filter_selectivity * 100:.2f}% of {stats.n_rows} rows); "
+        f"({sel_text} of {stats.n_rows} rows); "
         f"segments: {stats.n_segments_skipped} zone-map skips, "
         f"{stats.n_segments_probed} probed; "
         f"refine: {stats.refine_stats.boundary_cells} boundary cells; "
@@ -145,6 +150,9 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     if args.explain:
         print(db.explain(args.query))
         return 0
+    if args.analyze:
+        print(db.explain_analyze(args.query))
+        return 0
     start = time.perf_counter()
     result = db.sql(args.query)
     elapsed = time.perf_counter() - start
@@ -154,6 +162,45 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     if len(result.rows) > args.limit:
         print(f"... {len(result.rows) - args.limit} more rows")
     print(f"({len(result.rows)} rows in {elapsed * 1e3:.2f} ms)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.metrics import get_registry
+    from .obs.trace import get_tracer, to_chrome, to_json
+
+    if not args.sql and not args.wkt:
+        print("trace: need --sql or --wkt", file=sys.stderr)
+        return 1
+
+    tracer = get_tracer()
+    tracer.enable()
+    db = _open_db(args.db, threads=args.threads)
+    if args.sql:
+        result = db.sql(args.sql)
+        print(f"query returned {len(result.rows)} rows", file=sys.stderr)
+    else:
+        from .gis.wkt import loads
+
+        geometry = loads(args.wkt)
+        result = db.spatial_select(
+            args.table, geometry, predicate=args.predicate, distance=args.distance
+        )
+        print(f"query returned {len(result)} points", file=sys.stderr)
+
+    spans = (
+        tracer.last_traces(args.last) if args.last is not None else tracer.spans()
+    )
+    exported = to_chrome(spans) if args.export == "chrome" else to_json(spans)
+    if args.out:
+        Path(args.out).write_text(exported)
+        print(f"wrote {len(spans)} spans to {args.out}", file=sys.stderr)
+    else:
+        print(exported)
+    if args.metrics:
+        print(json.dumps(get_registry().snapshot(), indent=2), file=sys.stderr)
     return 0
 
 
@@ -330,12 +377,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true", help="print the plan, do not run"
     )
     p.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the query under the tracer and print the operator tree",
+    )
+    p.add_argument(
         "--threads",
         type=int,
         default=None,
         help="worker threads (default: all cores; 1 = serial)",
     )
     p.set_defaults(fn=_cmd_sql)
+
+    p = sub.add_parser(
+        "trace", help="run a query with tracing on and export the spans"
+    )
+    p.add_argument("db")
+    p.add_argument("--sql", help="SQL query to trace")
+    p.add_argument("--wkt", help="WKT geometry for a spatial selection")
+    p.add_argument("--table", default="points")
+    p.add_argument(
+        "--predicate", default="contains", choices=["contains", "dwithin"]
+    )
+    p.add_argument("--distance", type=float, default=0.0)
+    p.add_argument(
+        "--export",
+        default="chrome",
+        choices=["json", "chrome"],
+        help="output format (chrome = chrome://tracing trace events)",
+    )
+    p.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="export only the last N traces (query trees)",
+    )
+    p.add_argument("--out", help="output file (default: stdout)")
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the metrics registry snapshot to stderr",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="worker threads (default: all cores; 1 = serial)",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("sort", help="lassort: rewrite a LAS file in SFC order")
     p.add_argument("input")

@@ -18,11 +18,14 @@ actually did, which is what the append-cost benches watch.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 import numpy as np
 
 from ...engine.table import Table
+from ...obs.metrics import get_registry
+from ...obs.trace import maybe_span
 from . import index as index_mod
 from .segments import DEFAULT_SEGMENT_ROWS, SegmentedImprints
 
@@ -54,6 +57,10 @@ class ImprintsManager:
         self._imprints: Dict[tuple, SegmentedImprints] = {}
         self.builds = 0  # column-level index (re)build events
         self.segment_builds = 0  # per-segment builds those events performed
+        #: Seconds the most recent :meth:`ensure` spent building (0.0
+        #: when the index was already current) — queries fold this into
+        #: ``QueryStats.imprint_build_seconds``.
+        self.last_build_seconds = 0.0
 
     def _key(self, table: Table, column_name: str) -> tuple:
         return (table.name, column_name)
@@ -69,22 +76,46 @@ class ImprintsManager:
         threads = threads if threads is not None else self.threads
         key = self._key(table, column_name)
         imp = self._imprints.get(key)
+        self.last_build_seconds = 0.0
         if imp is None:
-            imp = SegmentedImprints(
-                table.column(column_name),
-                segment_rows=self.segment_rows,
-                threads=threads,
-                **self._build_kwargs,
-            )
+            with maybe_span(
+                "imprints.build", table=table.name, column=column_name
+            ) as span:
+                t0 = time.perf_counter()
+                imp = SegmentedImprints(
+                    table.column(column_name),
+                    segment_rows=self.segment_rows,
+                    threads=threads,
+                    **self._build_kwargs,
+                )
+                self.last_build_seconds = time.perf_counter() - t0
+                span.set(segments_built=imp.n_segments)
             self._imprints[key] = imp
             self.builds += 1
             self.segment_builds += imp.n_segments
+            self._record_build(imp.n_segments)
         elif imp.stale:
             # Incremental: only new (and one trailing partial) segments
             # are indexed — appends no longer pay O(n).
-            self.segment_builds += imp.extend(threads=threads)
+            with maybe_span(
+                "imprints.extend", table=table.name, column=column_name
+            ) as span:
+                t0 = time.perf_counter()
+                built = imp.extend(threads=threads)
+                self.last_build_seconds = time.perf_counter() - t0
+                span.set(segments_built=built)
+            self.segment_builds += built
             self.builds += 1
+            self._record_build(built)
         return imp
+
+    def _record_build(self, segments_built: int) -> None:
+        registry = get_registry()
+        registry.counter("imprints.builds").inc()
+        registry.counter("imprints.segment_builds").inc(segments_built)
+        registry.histogram("imprints.build_seconds").observe(
+            self.last_build_seconds
+        )
 
     def invalidate(self, table: Table, column_name: Optional[str] = None) -> None:
         """Drop imprints for one column or a whole table."""
@@ -109,13 +140,26 @@ class ImprintsManager:
 
         ``stats`` (any object with ``n_segments_skipped`` /
         ``n_segments_probed`` counters) receives the zone-map accounting
-        of the probe.
+        of the probe; when it also exposes ``imprint_build_seconds``
+        (e.g. :class:`~repro.core.query.QueryStats`), the seconds a lazy
+        build cost this call are added there.
         """
         threads = threads if threads is not None else self.threads
+        builds_before = self.segment_builds
         imp = self.ensure(table, column_name, threads=threads)
-        return imp.query(
-            lo, hi, lo_inclusive, hi_inclusive, threads=threads, stats=stats
-        )
+        if stats is not None and self.segment_builds != builds_before:
+            try:
+                stats.imprint_build_seconds += self.last_build_seconds
+            except AttributeError:
+                pass  # duck-typed stats without the build field
+        with maybe_span(
+            "imprints.probe", table=table.name, column=column_name
+        ) as span:
+            oids = imp.query(
+                lo, hi, lo_inclusive, hi_inclusive, threads=threads, stats=stats
+            )
+            span.set(rows_out=int(oids.shape[0]))
+        return oids
 
     @property
     def nbytes(self) -> int:

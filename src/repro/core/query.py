@@ -28,6 +28,8 @@ from ..engine.select import intersect_candidates, mask_select, range_select
 from ..engine.table import Table
 from ..gis.envelope import Box
 from ..gis.predicates import geometry_envelope, points_satisfy
+from ..obs.metrics import get_registry
+from ..obs.trace import maybe_span
 from .grid import DEFAULT_TARGET_CELLS
 from .imprints.manager import ImprintsManager
 from .refine import RefineStats, refine, refine_exhaustive
@@ -35,10 +37,19 @@ from .refine import RefineStats, refine, refine_exhaustive
 
 @dataclass
 class QueryStats:
-    """Phase timings and cardinalities for one spatial query."""
+    """Phase timings and cardinalities for one spatial query.
 
+    The phase boundaries are the same ones the tracer's spans wrap
+    (``query.filter`` / ``query.refine`` / ``imprints.build``), so these
+    numbers agree with an exported trace of the same query.
+    """
+
+    #: Seconds in the imprint filter step, *net of* lazy index builds.
     filter_seconds: float = 0.0
     refine_seconds: float = 0.0
+    #: Seconds spent lazily building/extending imprints this query
+    #: triggered (0.0 when the indexes were already warm).
+    imprint_build_seconds: float = 0.0
     n_rows: int = 0
     n_filter_candidates: int = 0
     n_results: int = 0
@@ -54,13 +65,21 @@ class QueryStats:
 
     @property
     def total_seconds(self) -> float:
-        return self.filter_seconds + self.refine_seconds
+        """Wall time of the whole query, lazy imprint builds included —
+        a cold first query no longer under-reports its cost."""
+        return (
+            self.filter_seconds + self.refine_seconds + self.imprint_build_seconds
+        )
 
     @property
     def filter_selectivity(self) -> float:
-        """Candidates / table rows (how much the filter step discards)."""
+        """Candidates / table rows (how much the filter step discards).
+
+        ``nan`` for an empty table: 0/0 is not "perfectly selective",
+        and the CLI footer renders it as ``-``.
+        """
         if self.n_rows == 0:
-            return 0.0
+            return float("nan")
         return self.n_filter_candidates / self.n_rows
 
 
@@ -193,76 +212,115 @@ class SpatialSelect:
                 oids=np.empty(0, dtype=np.int64),
                 stats=QueryStats(n_rows=0, used_imprints=use_imprints),
             )
-        env = geometry_envelope(geometry)
-        if predicate == "dwithin":
-            env = env.expand(distance)
-
-        stats = QueryStats(
-            n_rows=len(self.table),
-            used_imprints=use_imprints,
-            n_threads=resolve_threads(threads),
-        )
-        t0 = time.perf_counter()
-        candidates = self._filter(env, use_imprints, threads=threads, stats=stats)
-        if z_range is not None:
-            zmin, zmax = z_range
-            column_name = z_column if z_column is not None else "z"
-            if use_imprints:
-                z_cands = self.manager.range_select(
-                    self.table,
-                    column_name,
-                    zmin,
-                    zmax,
-                    threads=threads,
-                    stats=stats,
-                )
-                candidates = intersect_candidates(candidates, z_cands)
-            else:
-                candidates = range_select(
-                    self.table.column(column_name),
-                    zmin,
-                    zmax,
-                    candidates=candidates,
-                    threads=threads,
-                )
-        t1 = time.perf_counter()
-
-        stats.filter_seconds = t1 - t0
-        stats.n_filter_candidates = int(candidates.shape[0])
-
-        # A box query with a containment predicate *is* its own envelope
-        # test: the filter step is already exact, skip refinement.
-        if isinstance(geometry, Box) and predicate in (
-            "contains",
-            "intersects",
-            "within",
-        ):
-            stats.n_results = int(candidates.shape[0])
-            return QueryResult(oids=candidates, stats=stats)
-
-        xs = self.table.column(self.x_column).take(candidates)
-        ys = self.table.column(self.y_column).take(candidates)
-        if use_grid:
-            mask, refine_stats = refine(
-                xs,
-                ys,
-                geometry,
-                predicate,
-                distance,
-                target_cells=self.target_cells,
-                threads=threads,
+        with maybe_span(
+            "query.spatial", table=self.table.name, predicate=predicate
+        ) as query_span:
+            stats = QueryStats(
+                n_rows=len(self.table),
+                used_imprints=use_imprints,
+                n_threads=resolve_threads(threads),
             )
-        else:
-            mask, refine_stats = refine_exhaustive(
-                xs, ys, geometry, predicate, distance, threads=threads
-            )
-        t2 = time.perf_counter()
+            # The filter window opens before envelope derivation so that
+            # geometry parsing counts toward the reported wall time.
+            t0 = time.perf_counter()
+            env = geometry_envelope(geometry)
+            if predicate == "dwithin":
+                env = env.expand(distance)
 
-        stats.refine_seconds = t2 - t1
-        stats.refine_stats = refine_stats
-        oids = mask_select(mask, candidates)
-        stats.n_results = int(oids.shape[0])
-        return QueryResult(oids=oids, stats=stats)
+            with maybe_span("query.filter") as filter_span:
+                candidates = self._filter(
+                    env, use_imprints, threads=threads, stats=stats
+                )
+                if z_range is not None:
+                    zmin, zmax = z_range
+                    column_name = z_column if z_column is not None else "z"
+                    if use_imprints:
+                        z_cands = self.manager.range_select(
+                            self.table,
+                            column_name,
+                            zmin,
+                            zmax,
+                            threads=threads,
+                            stats=stats,
+                        )
+                        candidates = intersect_candidates(candidates, z_cands)
+                    else:
+                        candidates = range_select(
+                            self.table.column(column_name),
+                            zmin,
+                            zmax,
+                            candidates=candidates,
+                            threads=threads,
+                        )
+                filter_span.set(
+                    rows_in=stats.n_rows,
+                    rows_out=int(candidates.shape[0]),
+                    segments_skipped=stats.n_segments_skipped,
+                    segments_probed=stats.n_segments_probed,
+                )
+            t1 = time.perf_counter()
+
+            # Lazy builds were timed by the manager; report the filter
+            # phase net of them so the phases sum to the wall clock.
+            stats.filter_seconds = max(
+                (t1 - t0) - stats.imprint_build_seconds, 0.0
+            )
+            stats.n_filter_candidates = int(candidates.shape[0])
+
+            # A box query with a containment predicate *is* its own envelope
+            # test: the filter step is already exact, skip refinement.
+            if isinstance(geometry, Box) and predicate in (
+                "contains",
+                "intersects",
+                "within",
+            ):
+                stats.n_results = int(candidates.shape[0])
+                query_span.set(rows_out=stats.n_results)
+                self._record_metrics(stats)
+                return QueryResult(oids=candidates, stats=stats)
+
+            with maybe_span("query.refine") as refine_span:
+                xs = self.table.column(self.x_column).take(candidates)
+                ys = self.table.column(self.y_column).take(candidates)
+                if use_grid:
+                    mask, refine_stats = refine(
+                        xs,
+                        ys,
+                        geometry,
+                        predicate,
+                        distance,
+                        target_cells=self.target_cells,
+                        threads=threads,
+                    )
+                else:
+                    mask, refine_stats = refine_exhaustive(
+                        xs, ys, geometry, predicate, distance, threads=threads
+                    )
+                refine_span.set(
+                    rows_in=int(candidates.shape[0]),
+                    boundary_cells=refine_stats.boundary_cells,
+                    points_tested_exact=refine_stats.points_tested_exact,
+                )
+            t2 = time.perf_counter()
+
+            stats.refine_seconds = t2 - t1
+            stats.refine_stats = refine_stats
+            oids = mask_select(mask, candidates)
+            stats.n_results = int(oids.shape[0])
+            query_span.set(rows_out=stats.n_results)
+            self._record_metrics(stats)
+            return QueryResult(oids=oids, stats=stats)
+
+    @staticmethod
+    def _record_metrics(stats: QueryStats) -> None:
+        """Fold one query's stats into the process-wide registry."""
+        registry = get_registry()
+        registry.counter("query.count").inc()
+        registry.counter("query.segments_skipped").inc(stats.n_segments_skipped)
+        registry.counter("query.segments_probed").inc(stats.n_segments_probed)
+        registry.histogram("query.filter_seconds").observe(stats.filter_seconds)
+        registry.histogram("query.refine_seconds").observe(stats.refine_seconds)
+        registry.histogram("query.total_seconds").observe(stats.total_seconds)
 
     # -- reference path ----------------------------------------------------------
 

@@ -19,6 +19,7 @@ from ..engine import parallel
 from ..gis import batch
 from ..gis.envelope import Box
 from ..gis.predicates import points_satisfy
+from ..obs.trace import maybe_span
 from .grid import DEFAULT_TARGET_CELLS, RegularGrid
 
 
@@ -87,12 +88,14 @@ def refine_exhaustive(
     Returns (boolean mask over candidates, stats).  Used as the ablation
     arm of E5 and as the per-cell kernel for boundary cells.
     """
-    mask = _parallel_point_tests(xs, ys, geom, predicate, distance, threads)
-    stats = RefineStats(
-        n_candidates=int(np.asarray(xs).shape[0]),
-        points_tested_exact=int(np.asarray(xs).shape[0]),
-        used_grid=False,
-    )
+    with maybe_span("refine.exhaustive") as span:
+        mask = _parallel_point_tests(xs, ys, geom, predicate, distance, threads)
+        stats = RefineStats(
+            n_candidates=int(np.asarray(xs).shape[0]),
+            points_tested_exact=int(np.asarray(xs).shape[0]),
+            used_grid=False,
+        )
+        span.set(points_tested=stats.points_tested_exact)
     return mask, stats
 
 
@@ -141,38 +144,49 @@ def refine(
     stats = RefineStats(n_candidates=n, n_cells=len(groups))
 
     # Classify every non-empty cell in one vectorised pass.
-    cell_ids = np.fromiter(groups.keys(), dtype=np.int64, count=len(groups))
-    relations = batch.classify_boxes(
-        grid.cell_boxes(cell_ids), geom, predicate, distance
-    )
+    with maybe_span("refine.classify") as classify_span:
+        cell_ids = np.fromiter(groups.keys(), dtype=np.int64, count=len(groups))
+        relations = batch.classify_boxes(
+            grid.cell_boxes(cell_ids), geom, predicate, distance
+        )
 
-    boundary_members = []
-    for relation, members in zip(relations, groups.values()):
-        if relation == batch.INSIDE:
-            mask[members] = True
-            stats.inside_cells += 1
-            stats.points_accepted_wholesale += members.shape[0]
-        elif relation == batch.OUTSIDE:
-            stats.outside_cells += 1
-            stats.points_rejected_wholesale += members.shape[0]
-        else:
-            boundary_members.append(members)
-            stats.boundary_cells += 1
-            stats.points_tested_exact += members.shape[0]
+        boundary_members = []
+        for relation, members in zip(relations, groups.values()):
+            if relation == batch.INSIDE:
+                mask[members] = True
+                stats.inside_cells += 1
+                stats.points_accepted_wholesale += members.shape[0]
+            elif relation == batch.OUTSIDE:
+                stats.outside_cells += 1
+                stats.points_rejected_wholesale += members.shape[0]
+            else:
+                boundary_members.append(members)
+                stats.boundary_cells += 1
+                stats.points_tested_exact += members.shape[0]
+        classify_span.set(
+            n_cells=stats.n_cells,
+            inside=stats.inside_cells,
+            outside=stats.outside_cells,
+            boundary=stats.boundary_cells,
+        )
 
     # Exact tests for all boundary-cell points.  Whole cells are grouped
     # into morsel-sized batches and fanned out across the pool; each batch
     # writes a disjoint set of mask positions, so the outcome matches the
     # single-call serial evaluation exactly.
     if boundary_members:
-        batches = _cell_batches(boundary_members)
+        with maybe_span("refine.exact") as exact_span:
+            batches = _cell_batches(boundary_members)
 
-        def test_batch(tested: np.ndarray) -> None:
-            mask[tested] = points_satisfy(
-                xs[tested], ys[tested], geom, predicate, distance
+            def test_batch(tested: np.ndarray) -> None:
+                mask[tested] = points_satisfy(
+                    xs[tested], ys[tested], geom, predicate, distance
+                )
+
+            parallel.run_tasks(test_batch, batches, threads=threads)
+            exact_span.set(
+                points_tested=stats.points_tested_exact, batches=len(batches)
             )
-
-        parallel.run_tasks(test_batch, batches, threads=threads)
     return mask, stats
 
 

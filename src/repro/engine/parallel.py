@@ -27,6 +27,9 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -112,11 +115,29 @@ def run_tasks(
     Results come back in task order whatever the completion order, so
     callers can concatenate per-morsel arrays and get exactly the serial
     answer.  With one worker (or one task) the pool is bypassed entirely.
+
+    With tracing enabled each task gets its own ``parallel.task`` span,
+    parented to the span that was open when ``run_tasks`` was called —
+    worker threads do not inherit the caller's span stack, so the parent
+    is handed over explicitly.  Tracing off adds one boolean check.
     """
     tasks = list(tasks)
     n_workers = min(resolve_threads(threads), len(tasks))
+    tracer = _trace.get_tracer()
+    recording = tracer.enabled
+    parent = tracer.current() if recording else None
+    if recording and tasks:
+        get_registry().counter("parallel.tasks").inc(len(tasks))
+
+    def run_one(i: int) -> R:
+        if recording:
+            with tracer.span("parallel.task", parent=parent) as span:
+                span.set(index=i)
+                return fn(tasks[i])
+        return fn(tasks[i])
+
     if n_workers <= 1:
-        return [fn(task) for task in tasks]
+        return [run_one(i) for i in range(len(tasks))]
 
     results: List[R] = [None] * len(tasks)  # type: ignore[list-item]
     errors: List[BaseException] = []
@@ -135,7 +156,7 @@ def run_tasks(
                 except StopIteration:
                     return
             try:
-                results[i] = fn(tasks[i])
+                results[i] = run_one(i)
             except BaseException as exc:  # propagate to the caller
                 with cursor_lock:
                     errors.append(exc)

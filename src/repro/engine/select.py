@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from ..obs.trace import maybe_span
 from . import parallel
 from .column import Column
 
@@ -79,9 +80,12 @@ def theta_select(
         fn = _THETA_OPS[op]
     except KeyError:
         raise ValueError(f"unknown theta operator {op!r}") from None
-    vals = column.values if candidates is None else column.take(candidates)
-    mask = _morsel_mask(vals, lambda part: fn(part, constant), threads)
-    return _as_candidates(mask, candidates)
+    with maybe_span("select.theta", column=column.name, op=op) as span:
+        vals = column.values if candidates is None else column.take(candidates)
+        mask = _morsel_mask(vals, lambda part: fn(part, constant), threads)
+        result = _as_candidates(mask, candidates)
+        span.set(rows_in=int(vals.shape[0]), rows_out=int(result.shape[0]))
+    return result
 
 
 def range_select(
@@ -101,17 +105,20 @@ def range_select(
     into morsels across the worker pool (``1`` = the exact serial path);
     the reassembled result is identical either way.
     """
-    vals = column.values if candidates is None else column.take(candidates)
+    with maybe_span("select.range", column=column.name) as span:
+        vals = column.values if candidates is None else column.take(candidates)
 
-    def kernel(part: np.ndarray) -> np.ndarray:
-        mask = np.ones(part.shape[0], dtype=bool)
-        if lo is not None:
-            mask &= (part >= lo) if lo_inclusive else (part > lo)
-        if hi is not None:
-            mask &= (part <= hi) if hi_inclusive else (part < hi)
-        return mask
+        def kernel(part: np.ndarray) -> np.ndarray:
+            mask = np.ones(part.shape[0], dtype=bool)
+            if lo is not None:
+                mask &= (part >= lo) if lo_inclusive else (part > lo)
+            if hi is not None:
+                mask &= (part <= hi) if hi_inclusive else (part < hi)
+            return mask
 
-    return _as_candidates(_morsel_mask(vals, kernel, threads), candidates)
+        result = _as_candidates(_morsel_mask(vals, kernel, threads), candidates)
+        span.set(rows_in=int(vals.shape[0]), rows_out=int(result.shape[0]))
+    return result
 
 
 def mask_select(

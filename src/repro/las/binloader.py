@@ -27,6 +27,8 @@ from ..engine.catalog import Database
 from ..engine.column import TYPE_MAP
 from ..engine.storage import copy_binary, dump_array
 from ..engine.table import Table
+from ..obs.metrics import get_registry
+from ..obs.trace import maybe_span
 from .header import LasFormatError
 from .laz import read_laz
 from .reader import read_las
@@ -113,21 +115,35 @@ def load_file(
     minus the disk round trip.
     """
     stats = LoadStats(n_files=1)
-    t0 = time.perf_counter()
-    _header, columns = read_point_file(path)
-    t1 = time.perf_counter()
-    n = np.asarray(columns["x"]).shape[0]
-    if spool_dir is not None:
-        files = dump_to_binary(columns, spool_dir)
-        copy_binary(table, files)
-    else:
-        table.append_columns(flat_batch(columns, n))
-    t2 = time.perf_counter()
-    stats.n_points = n
-    stats.read_seconds = t1 - t0
-    stats.append_seconds = t2 - t1
-    stats.seconds = t2 - t0
+    with maybe_span("load.file", path=str(path)) as file_span:
+        t0 = time.perf_counter()
+        with maybe_span("load.read"):
+            _header, columns = read_point_file(path)
+        t1 = time.perf_counter()
+        n = np.asarray(columns["x"]).shape[0]
+        with maybe_span("load.append") as append_span:
+            if spool_dir is not None:
+                files = dump_to_binary(columns, spool_dir)
+                copy_binary(table, files)
+            else:
+                table.append_columns(flat_batch(columns, n))
+            append_span.set(rows=n, spooled=spool_dir is not None)
+        t2 = time.perf_counter()
+        stats.n_points = n
+        stats.read_seconds = t1 - t0
+        stats.append_seconds = t2 - t1
+        stats.seconds = t2 - t0
+        file_span.set(rows=n)
+    _record_load(stats)
     return stats
+
+
+def _record_load(stats: LoadStats) -> None:
+    """Fold one load's throughput accounting into the metrics registry."""
+    registry = get_registry()
+    registry.counter("load.points").inc(stats.n_points)
+    registry.counter("load.files").inc(stats.n_files)
+    registry.histogram("load.seconds").observe(stats.seconds)
 
 
 def load_files(
@@ -161,27 +177,36 @@ def load_file_chunked(
     per-field, not per-chunk).
     """
     stats = LoadStats(n_files=1)
-    t0 = time.perf_counter()
-    path = Path(path)
-    if path.suffix.lower() == ".laz":
-        raise LasFormatError(
-            "chunked loading needs an uncompressed .las file"
-        )
-    from .reader import iter_points
+    with maybe_span("load.file_chunked", path=str(path)) as span:
+        t0 = time.perf_counter()
+        path = Path(path)
+        if path.suffix.lower() == ".laz":
+            raise LasFormatError(
+                "chunked loading needs an uncompressed .las file"
+            )
+        from .reader import iter_points
 
-    for _header, columns in iter_points(path, chunk_size=chunk_size):
-        n = np.asarray(columns["x"]).shape[0]
-        table.append_columns(flat_batch(columns, n))
-        stats.n_points += n
-    stats.seconds = time.perf_counter() - t0
-    stats.append_seconds = stats.seconds
+        for _header, columns in iter_points(path, chunk_size=chunk_size):
+            n = np.asarray(columns["x"]).shape[0]
+            with maybe_span("load.append") as append_span:
+                table.append_columns(flat_batch(columns, n))
+                append_span.set(rows=n)
+            stats.n_points += n
+        stats.seconds = time.perf_counter() - t0
+        stats.append_seconds = stats.seconds
+        span.set(rows=stats.n_points)
+    _record_load(stats)
     return stats
 
 
 def load_arrays(table: Table, columns: Dict[str, np.ndarray]) -> LoadStats:
     """Load an in-memory column batch (generators feed this directly)."""
-    t0 = time.perf_counter()
-    n = np.asarray(columns["x"]).shape[0]
-    table.append_columns(flat_batch(columns, n))
-    dt = time.perf_counter() - t0
-    return LoadStats(n_points=n, n_files=0, seconds=dt, append_seconds=dt)
+    with maybe_span("load.arrays") as span:
+        t0 = time.perf_counter()
+        n = np.asarray(columns["x"]).shape[0]
+        table.append_columns(flat_batch(columns, n))
+        dt = time.perf_counter() - t0
+        span.set(rows=n)
+    stats = LoadStats(n_points=n, n_files=0, seconds=dt, append_seconds=dt)
+    _record_load(stats)
+    return stats

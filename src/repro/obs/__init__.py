@@ -1,0 +1,46 @@
+"""Observability: span tracing, metrics, and trace exporters.
+
+The measurement layer under ``EXPLAIN ANALYZE``, ``repro-gis trace``
+and the bench harness's metrics snapshots.  See
+``docs/observability.md`` for the span model and metric names.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .trace import (
+    TRACE_ENV,
+    Span,
+    Tracer,
+    format_tree,
+    from_json,
+    get_tracer,
+    maybe_span,
+    to_chrome,
+    to_json,
+    traced,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "format_tree",
+    "from_json",
+    "get_registry",
+    "get_tracer",
+    "maybe_span",
+    "to_chrome",
+    "to_json",
+    "traced",
+]

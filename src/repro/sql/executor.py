@@ -18,6 +18,7 @@ interpreter:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,9 +28,14 @@ from ..core.imprints import ImprintsManager
 from ..core.query import SpatialSelect
 from ..engine.table import Table
 from ..gis.geometry import Geometry
+from ..obs.metrics import get_registry
+from ..obs.trace import format_tree, get_tracer, maybe_span
 from . import ast
 from .functions import AGGREGATES, call
 from .parser import parse
+
+#: ``EXPLAIN [ANALYZE] <select>`` prefix, handled before the SELECT parser.
+_EXPLAIN_RE = re.compile(r"^\s*explain(\s+analyze)?\s+", re.IGNORECASE)
 
 
 class SqlExecutionError(ValueError):
@@ -189,23 +195,45 @@ class Session:
     def execute(self, sql: str) -> Result:
         """Parse and run one SELECT statement.
 
+        ``EXPLAIN <select>`` returns the plan text as a one-column result;
+        ``EXPLAIN ANALYZE <select>`` runs the query under the tracer and
+        returns the per-operator span tree (timings + cardinalities).
+
         ``last_profile`` afterwards holds per-phase seconds:
         ``parse``, ``join_filter`` (scans, index probes, joins),
         ``project`` (projection/aggregation/order/limit) and ``total``.
         """
         import time as _time
 
-        t0 = _time.perf_counter()
-        select = parse(sql)
-        t1 = _time.perf_counter()
-        result, t_join = self._run_profiled(select)
-        t2 = _time.perf_counter()
+        prefix = _EXPLAIN_RE.match(sql)
+        if prefix is not None:
+            body = sql[prefix.end():]
+            text = (
+                self.explain_analyze(body)
+                if prefix.group(1)
+                else self.explain(body)
+            )
+            return Result(
+                columns=["plan"], rows=[(line,) for line in text.splitlines()]
+            )
+
+        with maybe_span("sql.query", sql=sql.strip()) as query_span:
+            t0 = _time.perf_counter()
+            with maybe_span("sql.parse"):
+                select = parse(sql)
+            t1 = _time.perf_counter()
+            result, t_join = self._run_profiled(select)
+            t2 = _time.perf_counter()
+            query_span.set(rows_out=len(result.rows))
         self.last_profile = {
             "parse": t1 - t0,
             "join_filter": t_join,
             "project": (t2 - t1) - t_join,
             "total": t2 - t0,
         }
+        registry = get_registry()
+        registry.counter("sql.queries").inc()
+        registry.histogram("sql.seconds").observe(t2 - t0)
         return result
 
     def _run_profiled(self, select: ast.Select):
@@ -252,6 +280,25 @@ class Session:
         conjuncts.extend(_conjuncts_of(select.where))
         bindings = [(ref.binding, self.relation(ref.name)) for ref in refs]
         return _explain_plan(select, bindings, conjuncts)
+
+    def explain_analyze(self, sql: str) -> str:
+        """Run the query under the tracer and render the operator tree.
+
+        Each line is one span: operator name, wall-clock milliseconds and
+        the attributes the operator recorded (rows in/out, segments
+        skipped/probed, ...).  Works whether or not tracing is enabled
+        globally — the capture context force-enables it for this query.
+        """
+        tracer = get_tracer()
+        with tracer.capture() as spans:
+            result = self.execute(sql)
+        roots = [s for s in spans if s.name == "sql.query"]
+        if roots:
+            trace_id = roots[-1].trace_id
+            spans = [s for s in spans if s.trace_id == trace_id]
+        tree = format_tree(spans)
+        footer = f"rows returned: {len(result.rows)}"
+        return tree + ("\n" if tree else "") + footer
 
 
 
@@ -512,6 +559,17 @@ def _match_range(
     return None
 
 
+class _ProbeStats:
+    """Zone-map accounting sink for a SQL-pushed imprint probe."""
+
+    __slots__ = ("n_segments_skipped", "n_segments_probed", "imprint_build_seconds")
+
+    def __init__(self) -> None:
+        self.n_segments_skipped = 0
+        self.n_segments_probed = 0
+        self.imprint_build_seconds = 0.0
+
+
 def _filter_relation(
     binding: str,
     relation: Relation,
@@ -524,6 +582,20 @@ def _filter_relation(
     evaluate vectorised over the surviving candidates.  ``outer`` supplies
     scalar bindings from enclosing join loops.
     """
+    with maybe_span(
+        "scan", table=relation.name, binding=binding, rows_in=relation.n_rows
+    ) as scan_span:
+        result = _filter_relation_inner(binding, relation, conjuncts, outer)
+        scan_span.set(rows_out=int(result.shape[0]))
+    return result
+
+
+def _filter_relation_inner(
+    binding: str,
+    relation: Relation,
+    conjuncts: List[ast.Node],
+    outer: Dict[str, object],
+) -> np.ndarray:
     scalar_frame = _Frame(dict(outer), n_rows=0)
     candidates: Optional[np.ndarray] = None
     residual: List[ast.Node] = []
@@ -544,7 +616,18 @@ def _filter_relation(
             if distance_expr is not None
             else 0.0
         )
-        oids = relation.spatial.query(geometry, predicate, distance).oids
+        with maybe_span(
+            "filter.spatial",
+            predicate=predicate,
+            expr=_describe_expr(conjunct),
+        ) as spatial_span:
+            query_result = relation.spatial.query(geometry, predicate, distance)
+            oids = query_result.oids
+            spatial_span.set(
+                rows_out=int(oids.shape[0]),
+                segments_skipped=query_result.stats.n_segments_skipped,
+                segments_probed=query_result.stats.n_segments_probed,
+            )
         candidates = (
             oids
             if candidates is None
@@ -565,9 +648,24 @@ def _filter_relation(
             hi = (
                 _evaluate(hi_expr, scalar_frame) if hi_expr is not None else None
             )
-            candidates = relation.manager.range_select(
-                relation.table, name, lo, hi, lo_inc, hi_inc
-            )
+            with maybe_span(
+                "filter.range", column=name, expr=_describe_expr(conjunct)
+            ) as range_span:
+                probe_stats = _ProbeStats()
+                candidates = relation.manager.range_select(
+                    relation.table,
+                    name,
+                    lo,
+                    hi,
+                    lo_inc,
+                    hi_inc,
+                    stats=probe_stats,
+                )
+                range_span.set(
+                    rows_out=int(candidates.shape[0]),
+                    segments_skipped=probe_stats.n_segments_skipped,
+                    segments_probed=probe_stats.n_segments_probed,
+                )
             del residual[position]
             break
 
@@ -576,20 +674,25 @@ def _filter_relation(
     if not residual or candidates.shape[0] == 0:
         return candidates
 
-    columns = {}
-    for key, value in outer.items():
-        columns[key] = value
-    for name, arr in relation.columns.items():
-        columns[f"{binding}.{name}"] = arr[candidates]
-        columns.setdefault(name, arr[candidates])
-    frame = _Frame(columns, n_rows=candidates.shape[0])
-    mask = np.ones(candidates.shape[0], dtype=bool)
-    for conjunct in residual:
-        value = _evaluate(conjunct, frame)
-        if not isinstance(value, np.ndarray):
-            value = np.full(candidates.shape[0], bool(value))
-        mask &= value.astype(bool)
-    return candidates[mask]
+    with maybe_span("filter.residual", conjuncts=len(residual)) as residual_span:
+        columns = {}
+        for key, value in outer.items():
+            columns[key] = value
+        for name, arr in relation.columns.items():
+            columns[f"{binding}.{name}"] = arr[candidates]
+            columns.setdefault(name, arr[candidates])
+        frame = _Frame(columns, n_rows=candidates.shape[0])
+        mask = np.ones(candidates.shape[0], dtype=bool)
+        for conjunct in residual:
+            value = _evaluate(conjunct, frame)
+            if not isinstance(value, np.ndarray):
+                value = np.full(candidates.shape[0], bool(value))
+            mask &= value.astype(bool)
+        result = candidates[mask]
+        residual_span.set(
+            rows_in=int(candidates.shape[0]), rows_out=int(result.shape[0])
+        )
+    return result
 
 
 # -- joins -----------------------------------------------------------------------------
@@ -650,39 +753,48 @@ def _hash_equi_join(
     (binding_a, rel_a), (binding_b, rel_b) = bindings
     col_a, col_b = key_cols
 
-    remaining = [c for c in conjuncts if c is not equi_conjunct]
-    own_a = [c for c in remaining if _applicable(c, {binding_a}, bindings_bare)]
-    own_b = [c for c in remaining if _applicable(c, {binding_b}, bindings_bare)]
-    residual = [c for c in remaining if c not in own_a and c not in own_b]
-    idx_a = _filter_relation(binding_a, rel_a, own_a, outer={})
-    idx_b = _filter_relation(binding_b, rel_b, own_b, outer={})
+    with maybe_span(
+        "join.hash",
+        left=rel_a.name,
+        right=rel_b.name,
+        on=f"{binding_a}.{col_a} = {binding_b}.{col_b}",
+    ) as join_span:
+        remaining = [c for c in conjuncts if c is not equi_conjunct]
+        own_a = [c for c in remaining if _applicable(c, {binding_a}, bindings_bare)]
+        own_b = [c for c in remaining if _applicable(c, {binding_b}, bindings_bare)]
+        residual = [c for c in remaining if c not in own_a and c not in own_b]
+        idx_a = _filter_relation(binding_a, rel_a, own_a, outer={})
+        idx_b = _filter_relation(binding_b, rel_b, own_b, outer={})
 
-    from ..engine.column import Column
+        from ..engine.column import Column
 
-    left = Column.from_array("l", np.asarray(rel_a.columns[col_a]))
-    right = Column.from_array("r", np.asarray(rel_b.columns[col_b]))
-    pairs_a, pairs_b = hash_join(
-        left, right, left_candidates=idx_a, right_candidates=idx_b
-    )
+        left = Column.from_array("l", np.asarray(rel_a.columns[col_a]))
+        right = Column.from_array("r", np.asarray(rel_b.columns[col_b]))
+        pairs_a, pairs_b = hash_join(
+            left, right, left_candidates=idx_a, right_candidates=idx_b
+        )
+        join_span.set(rows_out=int(pairs_a.shape[0]))
 
-    columns: Dict[str, np.ndarray] = {}
-    for name, arr in rel_a.columns.items():
-        columns[f"{binding_a}.{name}"] = arr[pairs_a]
-    for name, arr in rel_b.columns.items():
-        columns[f"{binding_b}.{name}"] = arr[pairs_b]
-    frame = _Frame(columns, n_rows=pairs_a.shape[0])
-    if not residual:
-        return frame
-    mask = np.ones(frame.n_rows, dtype=bool)
-    for conjunct in residual:
-        value = _evaluate(conjunct, frame)
-        if not isinstance(value, np.ndarray):
-            value = np.full(frame.n_rows, bool(value))
-        mask &= value.astype(bool)
-    return _Frame(
-        {name: arr[mask] for name, arr in columns.items()},
-        n_rows=int(mask.sum()),
-    )
+        columns: Dict[str, np.ndarray] = {}
+        for name, arr in rel_a.columns.items():
+            columns[f"{binding_a}.{name}"] = arr[pairs_a]
+        for name, arr in rel_b.columns.items():
+            columns[f"{binding_b}.{name}"] = arr[pairs_b]
+        frame = _Frame(columns, n_rows=pairs_a.shape[0])
+        if not residual:
+            return frame
+        mask = np.ones(frame.n_rows, dtype=bool)
+        for conjunct in residual:
+            value = _evaluate(conjunct, frame)
+            if not isinstance(value, np.ndarray):
+                value = np.full(frame.n_rows, bool(value))
+            mask &= value.astype(bool)
+        out = _Frame(
+            {name: arr[mask] for name, arr in columns.items()},
+            n_rows=int(mask.sum()),
+        )
+        join_span.set(rows_out=out.n_rows)
+    return out
 
 
 def _join(
@@ -724,60 +836,66 @@ def _join(
     probe_binding, probe_relation = bindings[probe_pos]
     outers = [b for i, b in enumerate(bindings) if i != probe_pos]
 
-    # Per-outer single-table filters run once, before the loops.
-    remaining = list(conjuncts)
-    outer_rows: List[Tuple[str, Relation, np.ndarray]] = []
-    for binding, relation in outers:
-        own = [
-            c
-            for c in remaining
-            if _applicable(c, {binding}, bindings_bare)
-        ]
-        remaining = [c for c in remaining if c not in own]
-        idx = _filter_relation(binding, relation, own, outer={})
-        outer_rows.append((binding, relation, idx))
+    with maybe_span(
+        "join.nested_loop",
+        probe=probe_relation.name,
+        outers=len(outers),
+    ) as join_span:
+        # Per-outer single-table filters run once, before the loops.
+        remaining = list(conjuncts)
+        outer_rows: List[Tuple[str, Relation, np.ndarray]] = []
+        for binding, relation in outers:
+            own = [
+                c
+                for c in remaining
+                if _applicable(c, {binding}, bindings_bare)
+            ]
+            remaining = [c for c in remaining if c not in own]
+            idx = _filter_relation(binding, relation, own, outer={})
+            outer_rows.append((binding, relation, idx))
 
-    out_columns: Dict[str, List] = {}
-    for binding, relation, _idx in outer_rows:
-        for name in relation.columns:
-            out_columns[f"{binding}.{name}"] = []
-    for name in probe_relation.columns:
-        out_columns[f"{probe_binding}.{name}"] = []
-    total = 0
+        out_columns: Dict[str, List] = {}
+        for binding, relation, _idx in outer_rows:
+            for name in relation.columns:
+                out_columns[f"{binding}.{name}"] = []
+        for name in probe_relation.columns:
+            out_columns[f"{probe_binding}.{name}"] = []
+        total = 0
 
-    def recurse(level: int, outer_env: Dict[str, object]) -> None:
-        nonlocal total
-        if level == len(outer_rows):
-            idx = _filter_relation(
-                probe_binding, probe_relation, remaining, outer=outer_env
-            )
-            k = idx.shape[0]
-            if k == 0:
+        def recurse(level: int, outer_env: Dict[str, object]) -> None:
+            nonlocal total
+            if level == len(outer_rows):
+                idx = _filter_relation(
+                    probe_binding, probe_relation, remaining, outer=outer_env
+                )
+                k = idx.shape[0]
+                if k == 0:
+                    return
+                for name, arr in probe_relation.columns.items():
+                    out_columns[f"{probe_binding}.{name}"].append(arr[idx])
+                for key, value in outer_env.items():
+                    if key in out_columns:
+                        filler = np.empty(k, dtype=object)
+                        filler[:] = [value] * k
+                        out_columns[key].append(filler)
+                total += k
                 return
-            for name, arr in probe_relation.columns.items():
-                out_columns[f"{probe_binding}.{name}"].append(arr[idx])
-            for key, value in outer_env.items():
-                if key in out_columns:
-                    filler = np.empty(k, dtype=object)
-                    filler[:] = [value] * k
-                    out_columns[key].append(filler)
-            total += k
-            return
-        binding, relation, idx = outer_rows[level]
-        for row in idx:
-            env = dict(outer_env)
-            for name, arr in relation.columns.items():
-                env[f"{binding}.{name}"] = arr[row]
-            recurse(level + 1, env)
+            binding, relation, idx = outer_rows[level]
+            for row in idx:
+                env = dict(outer_env)
+                for name, arr in relation.columns.items():
+                    env[f"{binding}.{name}"] = arr[row]
+                recurse(level + 1, env)
 
-    recurse(0, {})
+        recurse(0, {})
 
-    final: Dict[str, np.ndarray] = {}
-    for key, parts in out_columns.items():
-        if parts:
-            final[key] = np.concatenate(parts)
-        else:
-            final[key] = np.empty(0, dtype=object)
+        final: Dict[str, np.ndarray] = {}
+        for key, parts in out_columns.items():
+            if parts:
+                final[key] = np.concatenate(parts)
+            else:
+                final[key] = np.empty(0, dtype=object)
+        join_span.set(rows_out=total)
     return _Frame(final, n_rows=total)
 
 
@@ -807,9 +925,13 @@ def _project(select: ast.Select, frame: _Frame) -> Result:
         _has_aggregate(item.expr) for item in select.items
     )
     if aggregate_query:
-        result = _aggregate(select, frame)
+        with maybe_span("aggregate", rows_in=frame.n_rows) as span:
+            result = _aggregate(select, frame)
+            span.set(rows_out=len(result.rows), groups=len(select.group_by))
     else:
-        result = _plain_project(select, frame)
+        with maybe_span("project", rows_in=frame.n_rows) as span:
+            result = _plain_project(select, frame)
+            span.set(rows_out=len(result.rows))
 
     if select.distinct:
         seen = set()

@@ -1,0 +1,97 @@
+"""The bench regression differ (python -m repro.bench.compare)."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare, load_timings, main
+
+
+def _report(path, seconds_by_query):
+    payload = {
+        "experiment": "thread_scaling",
+        "queries": [
+            {
+                "name": name,
+                "timings": [
+                    {"threads": threads, "seconds": seconds}
+                    for threads, seconds in timings.items()
+                ],
+            }
+            for name, timings in seconds_by_query.items()
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return _report(
+        tmp_path / "baseline.json",
+        {"rect_small": {1: 0.010, 4: 0.004}, "corridor": {1: 0.100}},
+    )
+
+
+class TestLoadAndCompare:
+    def test_load_timings(self, baseline):
+        timings = load_timings(baseline)
+        assert timings[("rect_small", 1)] == 0.010
+        assert timings[("corridor", 1)] == 0.100
+        assert len(timings) == 3
+
+    def test_compare_flags_only_over_threshold(self):
+        base = {("q", 1): 0.100, ("q", 4): 0.100, ("r", 1): 0.100}
+        cur = {("q", 1): 0.110, ("q", 4): 0.120, ("r", 1): 0.090}
+        rows = compare(base, cur, threshold=0.15)
+        by_key = {(r["query"], r["threads"]): r for r in rows}
+        assert not by_key[("q", 1)]["regressed"]  # +10% < 15%
+        assert by_key[("q", 4)]["regressed"]  # +20% > 15%
+        assert not by_key[("r", 1)]["regressed"]  # faster
+        assert by_key[("q", 4)]["ratio"] == pytest.approx(1.2)
+
+    def test_compare_skips_unshared_cells(self):
+        rows = compare({("old", 1): 1.0}, {("new", 1): 1.0})
+        assert rows == []
+
+
+class TestMain:
+    def test_no_regression_exits_zero(self, tmp_path, baseline, capsys):
+        current = _report(
+            tmp_path / "current.json",
+            {"rect_small": {1: 0.010, 4: 0.004}, "corridor": {1: 0.099}},
+        )
+        assert main([str(baseline), str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "3 cells compared, 0 regressed" in out
+
+    def test_regression_exits_nonzero(self, tmp_path, baseline, capsys):
+        current = _report(
+            tmp_path / "current.json",
+            {"rect_small": {1: 0.020, 4: 0.004}, "corridor": {1: 0.100}},
+        )
+        assert main([str(baseline), str(current)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_soft_mode_warns_but_exits_zero(self, tmp_path, baseline, capsys):
+        current = _report(
+            tmp_path / "current.json", {"rect_small": {1: 0.020, 4: 0.004}}
+        )
+        assert main([str(baseline), str(current), "--soft"]) == 0
+        out = capsys.readouterr().out
+        assert "::warning::" in out
+
+    def test_threshold_flag(self, tmp_path, baseline):
+        current = _report(
+            tmp_path / "current.json", {"rect_small": {1: 0.011, 4: 0.004}}
+        )
+        # +10%: fails a 5% threshold, passes the default 15%.
+        assert main([str(baseline), str(current), "--threshold", "0.05"]) == 1
+        assert main([str(baseline), str(current)]) == 0
+
+    def test_empty_reports_exit_two(self, tmp_path, capsys):
+        empty = _report(tmp_path / "empty.json", {})
+        other = _report(tmp_path / "other.json", {"q": {1: 1.0}})
+        assert main([str(empty), str(other)]) == 2
+        assert main([str(empty), str(other), "--soft"]) == 0

@@ -146,6 +146,104 @@ class TestLoadQuerySql:
         out = capsys.readouterr().out
         assert "range filter via imprint on 'z'" in out
 
+    def test_sql_analyze(self, db_dir, capsys):
+        code = main(
+            [
+                "sql",
+                str(db_dir),
+                "SELECT count(*) FROM points WHERE z BETWEEN 0 AND 5",
+                "--analyze",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sql.query" in out
+        assert "filter.range" in out
+        assert "rows returned:" in out
+
+    def test_query_empty_table_prints_dash_selectivity(
+        self, tmp_path, capsys
+    ):
+        from repro.api import PointCloudDB
+
+        db = PointCloudDB(directory=tmp_path / "empty_db")
+        db.create_pointcloud("points")
+        db.save()
+        code = main(
+            [
+                "query",
+                str(tmp_path / "empty_db"),
+                "--wkt",
+                "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 points" in out
+        assert "(- of 0 rows)" in out
+
+
+class TestTrace:
+    def test_trace_chrome_export(self, db_dir, tmp_path, capsys):
+        import json
+
+        from repro.obs.trace import get_tracer
+
+        out_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                str(db_dir),
+                "--sql",
+                "SELECT count(*) FROM points WHERE z > 1",
+                "--export",
+                "chrome",
+                "--out",
+                str(out_path),
+            ]
+        )
+        get_tracer().disable()
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        assert "sql.query" in names
+        for event in events:
+            assert event["ph"] == "X"
+            assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_trace_json_export_last_n(self, db_dir, capsys):
+        import json
+
+        from repro.obs.trace import get_tracer
+
+        code = main(
+            [
+                "trace",
+                str(db_dir),
+                "--wkt",
+                "POLYGON ((85000 445000, 86000 445000, 86000 446000,"
+                " 85000 446000, 85000 445000))",
+                "--export",
+                "json",
+                "--last",
+                "1",
+            ]
+        )
+        get_tracer().disable()
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records
+        names = {record["name"] for record in records}
+        assert "query.spatial" in names
+        # --last 1: exactly one trace (query tree) exported.
+        assert len({record["trace_id"] for record in records}) == 1
+
+    def test_trace_needs_a_query(self, db_dir, capsys):
+        assert main(["trace", str(db_dir)]) == 1
+        assert "--sql or --wkt" in capsys.readouterr().err
+
 
 class TestToolCommands:
     def test_sort(self, tile_dir, tmp_path, capsys):
