@@ -104,31 +104,34 @@ class TestLoadingReport:
                 )
             measurements["CSV convert+parse"] = (stats.n_points, t.seconds)
 
-            for name, (n, seconds) in measurements.items():
-                rate = n / seconds
-                report.add_row(
-                    name, n, seconds, rate, human_seconds(AHN2_POINTS / rate)
-                )
+            def rate_of(key):
+                # Same guard as LoadStats.points_per_second: a 0-second
+                # measurement yields rate 0, projected "n/a" — not a
+                # ZeroDivisionError or an "inf" row in the report.
+                n, seconds = measurements[key]
+                return n / seconds if seconds else 0.0
 
-            bin_rate = (
-                measurements["flat binary (COPY BINARY)"][0]
-                / measurements["flat binary (COPY BINARY)"][1]
-            )
-            csv_rate = (
-                measurements["CSV convert+parse"][0]
-                / measurements["CSV convert+parse"][1]
-            )
-            blk_rate = (
-                measurements["blockstore (sort+compress)"][0]
-                / measurements["blockstore (sort+compress)"][1]
-            )
+            for name in measurements:
+                n, seconds = measurements[name]
+                rate = rate_of(name)
+                projected = (
+                    human_seconds(AHN2_POINTS / rate) if rate else "n/a"
+                )
+                report.add_row(name, n, seconds, rate, projected)
+
+            bin_rate = rate_of("flat binary (COPY BINARY)")
+            csv_rate = rate_of("CSV convert+parse")
+            blk_rate = rate_of("blockstore (sort+compress)")
             report.note(
-                f"binary vs CSV speedup: {bin_rate / csv_rate:.1f}x "
-                f"(paper: binary loading dominates the CSV path)"
+                f"binary vs CSV speedup: "
+                f"{bin_rate / csv_rate:.1f}x" if csv_rate else
+                "binary vs CSV speedup: n/a (0-second CSV measurement)"
             )
             report.note(
                 f"flat vs blockstore speedup: {bin_rate / blk_rate:.1f}x "
                 f"(paper: <1 day vs ~1 week on AHN2, i.e. ~7x)"
+                if blk_rate
+                else "flat vs blockstore speedup: n/a"
             )
             report.emit()
 

@@ -193,9 +193,58 @@ class PointCloudDB:
     def load(
         cls, directory: PathLike, threads: Optional[int] = None
     ) -> "PointCloudDB":
-        """Restore a persisted database, imprints included."""
+        """Restore a persisted database, imprints included.
+
+        The load degrades gracefully: tables with torn tails are rolled
+        back to their last committed rows, unreadable tables are skipped,
+        corrupt imprints are quarantined and rebuilt lazily — per-table
+        outcomes land in :attr:`health` instead of killing the load.
+        """
         instance = cls(directory=directory, threads=threads)
         instance.db = Database.load(directory)
+        tables = {name: instance.db.table(name) for name in instance.db.table_names}
+        instance.manager.load(tables, Path(directory) / "_imprints")
+        return instance
+
+    # -- durability ---------------------------------------------------------
+
+    @property
+    def health(self) -> Dict[str, Dict]:
+        """Per-table load/recovery health (see :attr:`Database.health`)."""
+        return self.db.health
+
+    def verify(self, directory: Optional[PathLike] = None) -> Dict:
+        """Check every on-disk artifact of the store; returns a report.
+
+        ``{"ok": bool, "tables": {...}, "imprints": {"ok", "issues"}}`` —
+        table metadata, column checksums and row counts via
+        :meth:`Database.verify`, plus structural/checksum verification of
+        the persisted imprint files.  Read-only.
+        """
+        report = self.db.verify(directory)
+        root = Path(directory) if directory is not None else self.db.directory
+        imprint_issues = (
+            self.manager.verify_directory(root / "_imprints")
+            if root is not None
+            else []
+        )
+        report["imprints"] = {"ok": not imprint_issues, "issues": imprint_issues}
+        if imprint_issues:
+            report["ok"] = False
+        return report
+
+    @classmethod
+    def recover(
+        cls, directory: PathLike, threads: Optional[int] = None
+    ) -> "PointCloudDB":
+        """Tolerant load + rewrite of everything that needed repair.
+
+        Rolls torn table tails back and re-persists them
+        (:meth:`Database.recover`); corrupt imprint files are quarantined
+        by the imprint loader and rebuilt lazily on first use.
+        """
+        instance = cls(directory=directory, threads=threads)
+        instance.db = Database.recover(directory)
         tables = {name: instance.db.table(name) for name in instance.db.table_names}
         instance.manager.load(tables, Path(directory) / "_imprints")
         return instance

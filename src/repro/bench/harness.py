@@ -125,7 +125,13 @@ def speedup(baseline_seconds: float, other_seconds: float) -> float:
 
 
 def human_seconds(seconds: float) -> str:
-    """Render projected durations ('18.3 hours', '6.2 days')."""
+    """Render projected durations ('18.3 hours', '6.2 days').
+
+    Non-finite inputs — e.g. ``LoadStats.projected_seconds`` when the
+    measured run took 0 seconds — render as "n/a" instead of "inf".
+    """
+    if seconds != seconds or seconds in (float("inf"), float("-inf")):
+        return "n/a"
     if seconds < 120:
         return f"{seconds:.1f} s"
     if seconds < 7200:

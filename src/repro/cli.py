@@ -6,6 +6,8 @@ library gets a CLI instead::
     repro-gis generate --points 100000 --out tiles/        # synthetic AHN2
     repro-gis info tiles/                                   # header summary
     repro-gis load tiles/ --db farm/                        # binary loader
+    repro-gis load tiles/ --db farm/ --resume               # resume a crashed load
+    repro-gis verify farm/ [--repair]                       # checksums + health
     repro-gis query farm/ --wkt 'POLYGON ((...))'           # spatial select
     repro-gis sql farm/ 'SELECT count(*) FROM points'       # ad-hoc SQL
     repro-gis sort tile.las sorted.las --curve hilbert      # lassort
@@ -81,7 +83,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
-    from .api import PointCloudDB
+    from .las.ingest import ResumableIngest
 
     directory = Path(args.tiles)
     paths = sorted(
@@ -90,16 +92,54 @@ def _cmd_load(args: argparse.Namespace) -> int:
     if not paths:
         print(f"no LAS/LAZ files under {directory}", file=sys.stderr)
         return 1
-    db = PointCloudDB(directory=args.db)
-    db.create_pointcloud(args.table)
-    stats = db.load_las(args.table, paths)
-    db.save()
+    ingest = ResumableIngest(
+        args.db,
+        table=args.table,
+        checkpoint_every=args.checkpoint_every,
+        retries=args.retries,
+    )
+    _db, stats = ingest.load(paths, resume=args.resume)
+    extras = []
+    if stats.n_skipped:
+        extras.append(f"{stats.n_skipped} tiles already loaded (skipped)")
+    if stats.n_rows_rolled_back:
+        extras.append(f"{stats.n_rows_rolled_back} torn rows rolled back")
     print(
         f"loaded {stats.n_points} points from {stats.n_files} files in "
         f"{stats.seconds:.3f}s ({stats.points_per_second:,.0f} pts/s); "
         f"database saved to {args.db}"
+        + ("".join(f"; {extra}" for extra in extras))
     )
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .api import PointCloudDB
+
+    if args.repair:
+        db = PointCloudDB.recover(args.db)
+        for name, health in sorted(db.health.items()):
+            for issue in health["issues"]:
+                print(f"repaired {name}: {issue}")
+        for path in db.manager.quarantined:
+            print(f"quarantined imprint: {path}")
+    else:
+        db = PointCloudDB(directory=args.db)
+    report = db.verify()
+    if "error" in report:
+        print(f"error: {report['error']}", file=sys.stderr)
+        return 1
+    for name, entry in sorted(report["tables"].items()):
+        status = "ok" if entry["ok"] else "CORRUPT"
+        print(f"table {name}: {status}")
+        for issue in entry["issues"]:
+            print(f"  - {issue}")
+    imprints = report["imprints"]
+    print(f"imprints: {'ok' if imprints['ok'] else 'CORRUPT'}")
+    for issue in imprints["issues"]:
+        print(f"  - {issue}")
+    print(f"verify: {'OK' if report['ok'] else 'FAILED'}")
+    return 0 if report["ok"] else 1
 
 
 def _open_db(db_dir: str, threads: Optional[int] = None):
@@ -350,7 +390,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("tiles")
     p.add_argument("--db", required=True, help="database directory")
     p.add_argument("--table", default="points")
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted load from its journal "
+        "(skips tiles already durable, rolls back torn tails)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tiles between durable checkpoints (default 1)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="transient I/O error retries per tile (default 3)",
+    )
     p.set_defaults(fn=_cmd_load)
+
+    p = sub.add_parser(
+        "verify", help="check a database's on-disk artifacts (checksums, counts)"
+    )
+    p.add_argument("db")
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="roll back torn tails, rewrite repaired tables, quarantine "
+        "corrupt imprints before verifying",
+    )
+    p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("query", help="spatial selection on a saved database")
     p.add_argument("db")

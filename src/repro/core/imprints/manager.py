@@ -57,6 +57,8 @@ class ImprintsManager:
         self._imprints: Dict[tuple, SegmentedImprints] = {}
         self.builds = 0  # column-level index (re)build events
         self.segment_builds = 0  # per-segment builds those events performed
+        #: Paths of imprint files quarantined during :meth:`load`.
+        self.quarantined: list = []
         #: Seconds the most recent :meth:`ensure` spent building (0.0
         #: when the index was already current) — queries fold this into
         #: ``QueryStats.imprint_build_seconds``.
@@ -202,15 +204,23 @@ class ImprintsManager:
         """Restore imprints for the given tables; returns how many loaded.
 
         The key comes from each file's header (never from the file name,
-        which cannot round-trip dotted table names).  Files for unknown
-        tables/columns, legacy formats or mismatched snapshots are skipped
-        — the lazy build then covers them as usual.
+        which cannot round-trip dotted table names).  Degradation is
+        graceful, never fatal: a corrupt, truncated or stale (foreign
+        snapshot) imprint file is **quarantined** — renamed to
+        ``<name>.quarantined`` with a warning and a
+        ``durability.quarantines`` count — and the first query on that
+        column simply rebuilds the index lazily, exactly as if it had
+        never been persisted.  Legacy flat (v1) files and files for
+        tables/columns this database does not know are skipped silently.
         """
+        import warnings
         from pathlib import Path
 
+        from ...engine.durable import quarantine_file
         from .persist import (
             ImprintPersistError,
             load_segmented,
+            looks_like_segmented,
             read_segmented_key,
         )
 
@@ -218,18 +228,64 @@ class ImprintsManager:
         if not root.is_dir():
             return 0
         loaded = 0
+
+        def _quarantine(path: Path, exc: Exception) -> None:
+            target = quarantine_file(path, reason=str(exc))
+            where = target if target is not None else path
+            warnings.warn(
+                f"quarantined corrupt imprint {path.name}: {exc} "
+                f"(moved to {getattr(where, 'name', where)}; the index "
+                f"will be rebuilt lazily)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.quarantined.append(str(where))
+
         for path in sorted(root.glob("*.imprint")):
+            if not looks_like_segmented(path):
+                continue  # legacy v1 / foreign file: lazy build covers it
             try:
                 table_name, column_name = read_segmented_key(path)
-            except ImprintPersistError:
+            except ImprintPersistError as exc:
+                _quarantine(path, exc)
                 continue
             table = tables.get(table_name)
             if table is None or column_name not in table:
                 continue
             try:
                 imprint = load_segmented(table.column(column_name), path)
-            except ImprintPersistError:
+            except ImprintPersistError as exc:
+                _quarantine(path, exc)
                 continue
             self._imprints[(table_name, column_name)] = imprint
             loaded += 1
         return loaded
+
+    @staticmethod
+    def verify_directory(directory) -> list:
+        """Issues with the imprint files under ``directory`` (no load).
+
+        Structural/checksum verification only — used by
+        ``Database``-level health reports; an empty list means every
+        segmented imprint file parses and checksums cleanly.
+        """
+        from pathlib import Path
+
+        from .persist import (
+            ImprintPersistError,
+            looks_like_segmented,
+            verify_segmented_file,
+        )
+
+        root = Path(directory)
+        issues = []
+        if not root.is_dir():
+            return issues
+        for path in sorted(root.glob("*.imprint")):
+            if not looks_like_segmented(path):
+                continue
+            try:
+                verify_segmented_file(path)
+            except ImprintPersistError as exc:
+                issues.append(str(exc))
+        return issues

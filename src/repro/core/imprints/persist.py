@@ -17,7 +17,7 @@ Flat (v1, magic ``RIMP``) — one :class:`ColumnImprints`::
     4 framed arrays (dtype tag + length + raw bytes, as engine.storage):
       borders (f8), counters (i8), repeats (bool), vectors (u8 as u64)
 
-Segmented (v2, magic ``RIMS``) — one :class:`SegmentedImprints`::
+Segmented (v3, magic ``RIMS``) — one :class:`SegmentedImprints`::
 
     magic         4 bytes  b"RIMS"
     version       u16
@@ -25,6 +25,7 @@ Segmented (v2, magic ``RIMS``) — one :class:`SegmentedImprints`::
     segment_rows  u64
     n_rows        u64
     n_segments    u32
+    crc32         u32     CRC32 of header (crc field zeroed) + body
     table name    u16 length + utf-8 bytes
     column name   u16 length + utf-8 bytes
     per segment:
@@ -32,19 +33,25 @@ Segmented (v2, magic ``RIMS``) — one :class:`SegmentedImprints`::
       5 framed arrays: minmax (column dtype, 2 values), borders,
       counters (i8), repeats (bool), vectors (u64)
 
-The v2 header carries the ``(table, column)`` key explicitly; the
+The header carries the ``(table, column)`` key explicitly; the
 manager's loader reads it from there instead of parsing file names
-(which breaks on table names containing dots).
+(which breaks on table names containing dots).  Version-2 files (the
+same layout minus the ``crc32`` field) are still read; new files are
+written as v3 through the atomic-write protocol of
+:mod:`repro.engine.durable`, and a body-checksum mismatch raises
+:class:`ImprintPersistError` (counting ``durability.checksum_failures``)
+so the manager can quarantine the file and rebuild lazily.
 """
 
 from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ...engine import durable
 from ...engine.column import Column
 from .dictionary import CachelineDict
 from .histogram import BinScheme
@@ -57,8 +64,11 @@ _VERSION = 1
 _HEADER = struct.Struct("<4sHHQQ")
 
 _MAGIC_SEG = b"RIMS"
-_VERSION_SEG = 2
-_HEADER_SEG = struct.Struct("<4sHHQQI")
+_VERSION_SEG_V2 = 2
+_VERSION_SEG = 3
+_HEADER_SEG_V2 = struct.Struct("<4sHHQQI")
+_HEADER_SEG = struct.Struct("<4sHHQQII")
+_PREFIX_SEG = struct.Struct("<4sH")
 _SPAN = struct.Struct("<QQ")
 
 
@@ -79,13 +89,18 @@ def _frame(arr: np.ndarray) -> bytes:
 
 def _unframe(raw: bytes, pos: int):
     tag_len = int.from_bytes(raw[pos : pos + 2], "little")
-    pos += 2
-    dtype = np.dtype(raw[pos : pos + tag_len].decode())
-    pos += tag_len
+    tag = raw[pos + 2 : pos + 2 + tag_len]
+    if len(tag) != tag_len:
+        raise ImprintPersistError("truncated imprint array tag")
+    try:
+        dtype = np.dtype(tag.decode())
+    except (ValueError, TypeError, UnicodeDecodeError) as exc:
+        raise ImprintPersistError(f"bad imprint array dtype tag ({exc})") from None
+    pos += 2 + len(tag)
     n = int.from_bytes(raw[pos : pos + 8], "little")
     pos += 8
     data = raw[pos : pos + n]
-    if len(data) != n:
+    if len(data) != n or n % max(dtype.itemsize, 1):
         raise ImprintPersistError("truncated imprint array")
     return np.frombuffer(data, dtype=dtype), pos + n
 
@@ -103,9 +118,7 @@ def save_imprint(imprint: ColumnImprints, path: PathLike) -> int:
             _frame(imprint.cdict.vectors),
         ]
     )
-    path = Path(path)
-    path.write_bytes(header + payload)
-    return len(header) + len(payload)
+    return durable.atomic_write_bytes(path, header + payload, label="imprint")
 
 
 def load_imprint(column: Column, path: PathLike) -> ColumnImprints:
@@ -173,24 +186,55 @@ def _unframe_str(raw: bytes, pos: int):
     data = raw[pos : pos + n]
     if len(data) != n:
         raise ImprintPersistError("truncated imprint name")
-    return data.decode("utf-8"), pos + n
+    try:
+        return data.decode("utf-8"), pos + n
+    except UnicodeDecodeError as exc:
+        raise ImprintPersistError(f"bad imprint name ({exc})") from None
+
+
+def _parse_seg_header(raw: bytes, path: Path) -> Tuple[int, int, int, int, int, Optional[int], int]:
+    """(version, vpc, segment_rows, n_rows, n_segments, crc, body offset)."""
+    if len(raw) < _PREFIX_SEG.size:
+        raise ImprintPersistError(f"{path}: truncated header")
+    magic, version = _PREFIX_SEG.unpack(raw[: _PREFIX_SEG.size])
+    if magic != _MAGIC_SEG:
+        raise ImprintPersistError(f"{path}: bad magic {magic!r}")
+    if version == _VERSION_SEG_V2:
+        header = _HEADER_SEG_V2
+        if len(raw) < header.size:
+            raise ImprintPersistError(f"{path}: truncated header")
+        (_m, _v, vpc, segment_rows, n_rows, n_segments) = header.unpack(
+            raw[: header.size]
+        )
+        crc = None
+    elif version == _VERSION_SEG:
+        header = _HEADER_SEG
+        if len(raw) < header.size:
+            raise ImprintPersistError(f"{path}: truncated header")
+        (_m, _v, vpc, segment_rows, n_rows, n_segments, crc) = header.unpack(
+            raw[: header.size]
+        )
+    else:
+        raise ImprintPersistError(f"{path}: unsupported version {version}")
+    return version, vpc, segment_rows, n_rows, n_segments, crc, header.size
+
+
+def _seg_crc_ok(raw: bytes, offset: int, crc: Optional[int]) -> bool:
+    """Verify a v3 file's CRC (crc32 is the last header field; zero it)."""
+    if crc is None:
+        return True
+    base = raw[: offset - 4] + b"\x00\x00\x00\x00"
+    return durable.checksum(base + raw[offset:]) == crc
 
 
 def save_segmented(imprint, table_name: str, column_name: str, path: PathLike) -> int:
     """Persist a :class:`SegmentedImprints`; returns bytes written.
 
     The ``(table, column)`` key travels in the header so a loader never
-    has to reverse-engineer it from the file name.
+    has to reverse-engineer it from the file name; the CRC32 covers the
+    whole body after the header.
     """
-    header = _HEADER_SEG.pack(
-        _MAGIC_SEG,
-        _VERSION_SEG,
-        imprint.vpc,
-        imprint.segment_rows,
-        imprint.n_rows,
-        len(imprint.segments),
-    )
-    parts = [header, _frame_str(table_name), _frame_str(column_name)]
+    parts = [_frame_str(table_name), _frame_str(column_name)]
     for seg in imprint.segments:
         parts.append(_SPAN.pack(seg.start, seg.stop))
         parts.append(_frame(np.asarray([seg.zmin, seg.zmax])))
@@ -198,9 +242,65 @@ def save_segmented(imprint, table_name: str, column_name: str, path: PathLike) -
         parts.append(_frame(seg.cdict.counters))
         parts.append(_frame(seg.cdict.repeats))
         parts.append(_frame(seg.cdict.vectors))
-    payload = b"".join(parts)
-    Path(path).write_bytes(payload)
-    return len(payload)
+    body = b"".join(parts)
+    # CRC over header-with-crc-zeroed + body: a flip anywhere in the
+    # file (vpc, segment_rows, ... included) fails verification.
+    base = _HEADER_SEG.pack(
+        _MAGIC_SEG,
+        _VERSION_SEG,
+        imprint.vpc,
+        imprint.segment_rows,
+        imprint.n_rows,
+        len(imprint.segments),
+        0,
+    )
+    header = _HEADER_SEG.pack(
+        _MAGIC_SEG,
+        _VERSION_SEG,
+        imprint.vpc,
+        imprint.segment_rows,
+        imprint.n_rows,
+        len(imprint.segments),
+        durable.checksum(base + body),
+    )
+    return durable.atomic_write_bytes(path, header + body, label="imprint")
+
+
+def verify_segmented_file(path: PathLike) -> Tuple[str, str]:
+    """Structural check of a segmented imprint file on disk.
+
+    Parses the header, verifies the body CRC32 (v3), and returns the
+    ``(table, column)`` key; raises :class:`ImprintPersistError` on any
+    corruption.  Does not validate against a live column — that happens
+    at load time.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise ImprintPersistError(f"no imprint file at {path}") from None
+    (_version, _vpc, _seg_rows, _n_rows, _n_segments, crc, pos) = _parse_seg_header(
+        raw, path
+    )
+    if not _seg_crc_ok(raw, pos, crc):
+        durable.record_checksum_failure(path)
+        raise ImprintPersistError(f"{path}: checksum mismatch")
+    table_name, pos = _unframe_str(raw, pos)
+    column_name, _pos = _unframe_str(raw, pos)
+    return table_name, column_name
+
+
+def looks_like_segmented(path: PathLike) -> bool:
+    """True when the file starts with the segmented (``RIMS``) magic.
+
+    Lets the manager distinguish legacy/foreign files (skipped silently)
+    from corrupt segmented imprints (quarantined).
+    """
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(4) == _MAGIC_SEG
+    except OSError:
+        return False
 
 
 def read_segmented_key(path: PathLike):
@@ -214,14 +314,8 @@ def read_segmented_key(path: PathLike):
             raw = fh.read(_HEADER_SEG.size + 4 + 2 * 65536)
     except FileNotFoundError:
         raise ImprintPersistError(f"no imprint file at {path}") from None
-    if len(raw) < _HEADER_SEG.size:
-        raise ImprintPersistError(f"{path}: truncated header")
-    magic, version, *_rest = _HEADER_SEG.unpack(raw[: _HEADER_SEG.size])
-    if magic != _MAGIC_SEG:
-        raise ImprintPersistError(f"{path}: not a segmented imprint ({magic!r})")
-    if version != _VERSION_SEG:
-        raise ImprintPersistError(f"{path}: unsupported version {version}")
-    table_name, pos = _unframe_str(raw, _HEADER_SEG.size)
+    (*_fields, offset) = _parse_seg_header(raw, path)
+    table_name, pos = _unframe_str(raw, offset)
     column_name, _pos = _unframe_str(raw, pos)
     return table_name, column_name
 
@@ -241,21 +335,17 @@ def load_segmented(column: Column, path: PathLike):
         raw = path.read_bytes()
     except FileNotFoundError:
         raise ImprintPersistError(f"no imprint file at {path}") from None
-    if len(raw) < _HEADER_SEG.size:
-        raise ImprintPersistError(f"{path}: truncated header")
-    magic, version, vpc, segment_rows, n_rows, n_segments = _HEADER_SEG.unpack(
-        raw[: _HEADER_SEG.size]
+    (_version, vpc, segment_rows, n_rows, n_segments, crc, pos) = _parse_seg_header(
+        raw, path
     )
-    if magic != _MAGIC_SEG:
-        raise ImprintPersistError(f"{path}: bad magic {magic!r}")
-    if version != _VERSION_SEG:
-        raise ImprintPersistError(f"{path}: unsupported version {version}")
+    if not _seg_crc_ok(raw, pos, crc):
+        durable.record_checksum_failure(path)
+        raise ImprintPersistError(f"{path}: checksum mismatch")
     if n_rows > len(column):
         raise ImprintPersistError(
             f"{path}: imprint indexes {n_rows} rows but column "
             f"{column.name!r} holds only {len(column)}"
         )
-    pos = _HEADER_SEG.size
     _table_name, pos = _unframe_str(raw, pos)
     _column_name, pos = _unframe_str(raw, pos)
     segments = []

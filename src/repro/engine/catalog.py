@@ -4,17 +4,36 @@ A :class:`Database` is the session object of the engine — the analogue of a
 MonetDB database farm.  Tables live in memory; :meth:`Database.save` /
 :meth:`Database.load` persist them as per-column binary files under a
 directory (one subdirectory per table).
+
+Durability contract (see ``docs/durability.md``):
+
+* :meth:`Database.save` writes every table's column files first, then the
+  per-table ``schema.json``, then — last of all, atomically — the root
+  ``_catalog.json`` naming the live tables.  A crash at any instant
+  leaves the previous catalog intact, and a table dropped in memory can
+  no longer resurrect from a stale directory: load trusts the catalog.
+* :meth:`Database.load` degrades gracefully: a table with a torn tail is
+  rolled back to its last committed rows, an unreadable table is skipped,
+  and either way per-table health lands in :attr:`Database.health`
+  instead of the whole load dying on the first bad column.
+* :meth:`Database.verify` re-checks every on-disk artifact (metadata,
+  checksums, row counts) and :meth:`Database.recover` rewrites whatever a
+  tolerant load had to repair, so ``verify`` passes again after a crash.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from . import storage
+from . import durable, storage
 from .table import Schema, Table
 
 PathLike = Union[str, Path]
+
+#: Root-level catalog metadata file, written last on every save.
+CATALOG_FILE = "_catalog.json"
 
 
 class CatalogError(KeyError):
@@ -34,6 +53,9 @@ class Database:
     def __init__(self, directory: Optional[PathLike] = None) -> None:
         self.directory = Path(directory) if directory is not None else None
         self._tables: Dict[str, Table] = {}
+        #: Per-table load/recovery health, populated by :meth:`load`:
+        #: ``{name: {"ok": bool, "issues": [str, ...]}}``.
+        self.health: Dict[str, Dict] = {}
 
     # -- table lifecycle ----------------------------------------------------
 
@@ -80,24 +102,133 @@ class Database:
     # -- persistence ----------------------------------------------------------
 
     def save(self, directory: Optional[PathLike] = None) -> int:
-        """Persist all tables; returns total bytes written."""
+        """Persist all tables; returns total bytes written.
+
+        Tables are written first (columns, then their ``schema.json``);
+        the root ``_catalog.json`` listing the live tables goes last,
+        atomically.  Dropped tables therefore disappear from the catalog
+        on the next save even though their directories linger on disk —
+        :meth:`load` trusts the catalog, not the directory scan.
+        """
         root = Path(directory) if directory is not None else self.directory
         if root is None:
             raise ValueError("no persistence directory configured")
         root.mkdir(parents=True, exist_ok=True)
         total = 0
-        for name, table in self._tables.items():
-            total += storage.save_table(table, root / name)
+        for name in sorted(self._tables):
+            total += storage.save_table(self._tables[name], root / name)
+            durable.crash_point("catalog.table_saved", table=name)
+        meta = {"version": 1, "tables": sorted(self._tables)}
+        durable.atomic_write_text(
+            root / CATALOG_FILE, json.dumps(meta, indent=2), label="catalog"
+        )
         return total
+
+    @staticmethod
+    def _catalog_table_names(root: Path) -> Optional[List[str]]:
+        """Table names from ``_catalog.json``, or None for legacy farms."""
+        path = root / CATALOG_FILE
+        try:
+            meta = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise storage.StorageError(
+                f"{path}: corrupt catalog metadata ({exc})"
+            ) from None
+        return list(meta.get("tables", []))
 
     @classmethod
     def load(cls, directory: PathLike) -> "Database":
-        """Restore a database persisted with :meth:`save`."""
+        """Restore a database persisted with :meth:`save`.
+
+        Never dies on the first bad table: a torn tail append is rolled
+        back to the last committed rows, an unreadable table is skipped,
+        and every table's outcome is recorded in :attr:`health`.  Raises
+        only when the directory itself (or its catalog file) is unusable.
+        """
         root = Path(directory)
         if not root.is_dir():
             raise storage.StorageError(f"no database directory at {root}")
         db = cls(directory=root)
-        for entry in sorted(root.iterdir()):
-            if entry.is_dir() and (entry / "schema.json").exists():
+        names = cls._catalog_table_names(root)
+        if names is None:
+            # Legacy farm without a catalog file: directory scan.
+            names = sorted(
+                entry.name
+                for entry in root.iterdir()
+                if entry.is_dir() and (entry / "schema.json").exists()
+            )
+        for name in sorted(names):
+            entry = root / name
+            try:
                 db.register(storage.load_table(entry))
+                db.health[name] = {"ok": True, "issues": []}
+                continue
+            except storage.StorageError as exc:
+                first_error = str(exc)
+            try:
+                table, issues = storage.recover_table(entry)
+            except storage.StorageError:
+                db.health[name] = {"ok": False, "issues": [first_error]}
+                continue
+            db.register(table)
+            db.health[name] = {"ok": True, "issues": issues or [first_error]}
+        return db
+
+    def verify(self, directory: Optional[PathLike] = None) -> Dict:
+        """Check every on-disk artifact; returns a health report.
+
+        ``{"ok": bool, "tables": {name: {"ok": bool, "issues": [...]}}}``
+        — metadata must parse, every column file must load with a valid
+        checksum, and all row counts must agree.  Read-only: nothing is
+        repaired (that is :meth:`recover`'s job).
+        """
+        root = Path(directory) if directory is not None else self.directory
+        if root is None:
+            raise ValueError("no persistence directory configured")
+        report: Dict = {"ok": True, "tables": {}}
+        if not root.is_dir():
+            return {"ok": False, "tables": {}, "error": f"no database at {root}"}
+        try:
+            names = self._catalog_table_names(root)
+        except storage.StorageError as exc:
+            return {"ok": False, "tables": {}, "error": str(exc)}
+        if names is None:
+            names = sorted(
+                entry.name
+                for entry in root.iterdir()
+                if entry.is_dir() and (entry / "schema.json").exists()
+            )
+        for name in sorted(names):
+            issues = storage.verify_table(root / name)
+            report["tables"][name] = {"ok": not issues, "issues": issues}
+            if issues:
+                report["ok"] = False
+        return report
+
+    @classmethod
+    def recover(cls, directory: PathLike) -> "Database":
+        """Tolerant load + rewrite of everything the load had to repair.
+
+        After a crash anywhere in the save path, ``recover`` rolls torn
+        tails back, re-saves the repaired tables, and rewrites the
+        catalog so a subsequent :meth:`verify` passes.  Tables that are
+        genuinely unreadable (e.g. checksum corruption) stay on disk,
+        flagged in :attr:`health` — recovery never destroys data.
+        """
+        db = cls.load(directory)
+        root = db.directory
+        for name in db.table_names:
+            storage.save_table(db.table(name), root / name)
+        # Unreadable tables stay listed so they keep surfacing in health
+        # reports instead of being silently forgotten.
+        keep = sorted(
+            set(db.table_names)
+            | {n for n, h in db.health.items() if not h["ok"]}
+        )
+        meta = {"version": 1, "tables": keep}
+        durable.atomic_write_text(
+            root / CATALOG_FILE, json.dumps(meta, indent=2), label="catalog"
+        )
         return db

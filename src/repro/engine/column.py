@@ -167,6 +167,21 @@ class Column:
         self._minmax_cache = None
         return first_oid
 
+    def truncate(self, n: int) -> None:
+        """Discard every row from oid ``n`` on (crash-recovery rollback).
+
+        Columns are append-only in normal operation; truncation exists
+        solely so recovery can roll back a torn tail append.  Callers
+        owning indexes over the column must invalidate them.
+        """
+        if not 0 <= n <= self._len:
+            raise ValueError(
+                f"cannot truncate column {self.name!r} of {self._len} "
+                f"rows to {n}"
+            )
+        self._len = n
+        self._minmax_cache = None
+
     # -- access ------------------------------------------------------------
 
     def take(self, oids: np.ndarray) -> np.ndarray:

@@ -7,16 +7,23 @@ format — a tiny self-describing header followed by raw little-endian array
 bytes — plus table-level save/load as one file per column, which is exactly
 MonetDB's BAT-file layout.
 
-File format (``.col``)::
+File format (``.col``, version 2)::
 
     magic   4 bytes  b"RCOL"
-    version u16      format version (1)
+    version u16      format version (2)
     type    u16      index into the type table (column.TYPE_MAP order)
     count   u64      number of values
+    crc32   u32      CRC32 of header (crc field zeroed) + payload
     data    count * itemsize raw bytes, little endian
 
-A corrupted header or a short payload raises :class:`StorageError` rather
-than yielding a truncated column.
+Version-1 files (no ``crc32`` field) are still read; new files are always
+written as v2 through the atomic-write protocol of
+:mod:`repro.engine.durable` (temp file + fsync + ``os.replace``), so a
+crash mid-write leaves the previous file intact instead of a torn one.
+
+A corrupted header, a short payload, or a checksum mismatch raises
+:class:`StorageError` rather than yielding a truncated column; checksum
+mismatches also increment the ``durability.checksum_failures`` counter.
 """
 
 from __future__ import annotations
@@ -24,16 +31,20 @@ from __future__ import annotations
 import json
 import struct
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from . import durable
 from .column import TYPE_MAP, Column
 from .table import Table
 
 _MAGIC = b"RCOL"
-_VERSION = 1
-_HEADER = struct.Struct("<4sHHQ")
+_VERSION_V1 = 1
+_VERSION = 2
+_HEADER_V1 = struct.Struct("<4sHHQ")
+_HEADER = struct.Struct("<4sHHQI")
+_PREFIX = struct.Struct("<4sH")  # magic + version, shared by both layouts
 _TYPE_NAMES: List[str] = list(TYPE_MAP.keys())
 _TYPE_CODES = {name: i for i, name in enumerate(_TYPE_NAMES)}
 
@@ -48,46 +59,111 @@ class StorageError(IOError):
 
 
 def dump_array(array: np.ndarray, path: PathLike) -> int:
-    """Write a 1-D numpy array as a ``.col`` file; returns bytes written."""
+    """Write a 1-D numpy array as a ``.col`` file; returns bytes written.
+
+    The write is atomic (see :mod:`repro.engine.durable`): readers see
+    either the old file or the complete new one, never a torn hybrid.
+    """
     array = np.ascontiguousarray(array)
     if array.ndim != 1:
         raise StorageError("only 1-D arrays are stored")
     type_name = {v: k for k, v in TYPE_MAP.items()}.get(array.dtype)
     if type_name is None:
         raise StorageError(f"unsupported dtype {array.dtype}")
-    header = _HEADER.pack(_MAGIC, _VERSION, _TYPE_CODES[type_name], array.shape[0])
     payload = array.astype(array.dtype.newbyteorder("<")).tobytes()
-    path = Path(path)
-    with open(path, "wb") as fh:
-        fh.write(header)
-        fh.write(payload)
-    return len(header) + len(payload)
+    # The CRC covers the header (with the CRC field zeroed) plus the
+    # payload, so a bit flip anywhere in the file fails verification —
+    # including type/count header bytes a payload-only CRC would miss.
+    base = _HEADER.pack(_MAGIC, _VERSION, _TYPE_CODES[type_name], array.shape[0], 0)
+    header = _HEADER.pack(
+        _MAGIC,
+        _VERSION,
+        _TYPE_CODES[type_name],
+        array.shape[0],
+        durable.checksum(base + payload),
+    )
+    return durable.atomic_write_bytes(path, header + payload, label="col")
 
 
-def load_array(path: PathLike) -> np.ndarray:
-    """Read a ``.col`` file back into a numpy array."""
+def _parse_header(raw: bytes, path: Path) -> Tuple[int, np.dtype, int, Optional[int], int]:
+    """(version, dtype, count, crc-or-None, payload offset) of a .col blob."""
+    if len(raw) < _PREFIX.size:
+        raise StorageError(f"{path}: truncated header")
+    magic, version = _PREFIX.unpack(raw[: _PREFIX.size])
+    if magic != _MAGIC:
+        raise StorageError(f"{path}: bad magic {magic!r}")
+    if version == _VERSION_V1:
+        header = _HEADER_V1
+        if len(raw) < header.size:
+            raise StorageError(f"{path}: truncated header")
+        _magic, _version, type_code, count = header.unpack(raw[: header.size])
+        crc = None
+    elif version == _VERSION:
+        header = _HEADER
+        if len(raw) < header.size:
+            raise StorageError(f"{path}: truncated header")
+        _magic, _version, type_code, count, crc = header.unpack(raw[: header.size])
+    else:
+        raise StorageError(f"{path}: unsupported version {version}")
+    if type_code >= len(_TYPE_NAMES):
+        raise StorageError(f"{path}: unknown type code {type_code}")
+    return version, TYPE_MAP[_TYPE_NAMES[type_code]], count, crc, header.size
+
+
+def read_column_header(path: PathLike) -> Dict[str, object]:
+    """Header fields of a ``.col`` file without loading the payload.
+
+    Returns ``{"version", "type", "count", "checksummed"}``; raises
+    :class:`StorageError` on anything that is not a column file.
+    """
     path = Path(path)
     try:
         with open(path, "rb") as fh:
-            raw_header = fh.read(_HEADER.size)
-            if len(raw_header) != _HEADER.size:
-                raise StorageError(f"{path}: truncated header")
-            magic, version, type_code, count = _HEADER.unpack(raw_header)
-            if magic != _MAGIC:
-                raise StorageError(f"{path}: bad magic {magic!r}")
-            if version != _VERSION:
-                raise StorageError(f"{path}: unsupported version {version}")
-            if type_code >= len(_TYPE_NAMES):
-                raise StorageError(f"{path}: unknown type code {type_code}")
-            dtype = TYPE_MAP[_TYPE_NAMES[type_code]]
-            payload = fh.read(count * dtype.itemsize)
+            raw = fh.read(_HEADER.size)
     except FileNotFoundError:
         raise StorageError(f"column file not found: {path}") from None
+    version, dtype, count, crc, _offset = _parse_header(raw, path)
+    type_name = {v: k for k, v in TYPE_MAP.items()}[dtype]
+    return {
+        "version": version,
+        "type": type_name,
+        "count": count,
+        "checksummed": crc is not None,
+    }
+
+
+def load_array(path: PathLike) -> np.ndarray:
+    """Read a ``.col`` file back into a numpy array.
+
+    Verifies the embedded CRC32 for v2 files; a mismatch raises
+    :class:`StorageError` and counts a ``durability.checksum_failures``.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise StorageError(f"column file not found: {path}") from None
+    _version, dtype, count, crc, offset = _parse_header(raw, path)
+    payload = raw[offset : offset + count * dtype.itemsize]
     if len(payload) != count * dtype.itemsize:
         raise StorageError(
             f"{path}: expected {count * dtype.itemsize} payload bytes, "
             f"got {len(payload)}"
         )
+    if crc is None and len(raw) - offset != count * dtype.itemsize:
+        # v1 has no checksum, so require an exact payload length: a v2
+        # file whose version field was corrupted down to 1 would
+        # otherwise parse with the payload shifted by the crc width.
+        raise StorageError(
+            f"{path}: v1 file has {len(raw) - offset} payload bytes, "
+            f"expected exactly {count * dtype.itemsize}"
+        )
+    if crc is not None:
+        # crc32 is the last header field; zero it out for verification.
+        base = raw[: offset - 4] + b"\x00\x00\x00\x00"
+        if durable.checksum(base + payload) != crc:
+            durable.record_checksum_failure(path)
+            raise StorageError(f"{path}: checksum mismatch")
     arr = np.frombuffer(payload, dtype=dtype.newbyteorder("<")).astype(dtype)
     return arr
 
@@ -113,30 +189,53 @@ def table_dir_layout(table: Table) -> Dict[str, str]:
 def save_table(table: Table, directory: PathLike) -> int:
     """Persist a table as one ``.col`` file per column plus ``schema.json``.
 
-    Returns total bytes written (excluding the schema file).
+    Column files are written first (each atomically); the table metadata
+    goes last, so ``schema.json``'s row count is only ever updated once
+    every column holding those rows is durable.  Returns total bytes
+    written (excluding the schema file).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     total = 0
     for name, filename in table_dir_layout(table).items():
         total += save_column(table.column(name), directory / filename)
+        durable.crash_point(
+            "storage.table.column_saved", table=table.name, column=name
+        )
     meta = {"name": table.name, "schema": table.schema, "rows": len(table)}
-    (directory / "schema.json").write_text(json.dumps(meta, indent=2))
+    durable.atomic_write_text(
+        directory / "schema.json", json.dumps(meta, indent=2), label="schema"
+    )
     return total
 
 
 def load_table(directory: PathLike) -> Table:
-    """Load a table persisted with :func:`save_table`."""
+    """Load a table persisted with :func:`save_table` (strict).
+
+    Any missing/corrupt column or row-count mismatch raises
+    :class:`StorageError`; :func:`recover_table` is the tolerant variant
+    used by crash recovery.
+    """
     directory = Path(directory)
     meta_path = directory / "schema.json"
     try:
         meta = json.loads(meta_path.read_text())
     except FileNotFoundError:
         raise StorageError(f"no table at {directory}") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StorageError(f"{meta_path}: corrupt table metadata ({exc})") from None
     table = Table(meta["name"], [tuple(pair) for pair in meta["schema"]])
     batch = {}
     for name, _type in table.schema:
         batch[name] = load_array(directory / f"{name}.col")
+    lengths = {arr.shape[0] for arr in batch.values()}
+    if len(lengths) > 1:
+        # A crash mid-save leaves some columns one batch ahead; that is
+        # a storage-level inconsistency (recover_table rolls it back),
+        # not a schema error.
+        raise StorageError(
+            f"{directory}: ragged column files (lengths {sorted(lengths)})"
+        )
     if batch:
         table.append_columns(batch)
     if len(table) != meta["rows"]:
@@ -145,6 +244,84 @@ def load_table(directory: PathLike) -> Table:
             f"column files hold {len(table)}"
         )
     return table
+
+
+def recover_table(directory: PathLike) -> Tuple[Table, List[str]]:
+    """Load a table, rolling back a torn tail instead of raising.
+
+    The write protocol (columns first, ``schema.json`` last) means a
+    crash mid-save can leave some column files one batch ahead of the
+    committed metadata.  Recovery truncates every column to the shortest
+    consistent prefix — ``min(schema rows, shortest column)`` — which is
+    exactly the last committed state.  Returns ``(table, issues)`` where
+    ``issues`` lists everything that was repaired.
+
+    A missing/corrupt ``schema.json`` or a column that cannot be read at
+    all (missing file, checksum failure) is not recoverable here and
+    still raises :class:`StorageError`.
+    """
+    directory = Path(directory)
+    meta_path = directory / "schema.json"
+    try:
+        meta = json.loads(meta_path.read_text())
+    except FileNotFoundError:
+        raise StorageError(f"no table at {directory}") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StorageError(f"{meta_path}: corrupt table metadata ({exc})") from None
+    issues: List[str] = []
+    table = Table(meta["name"], [tuple(pair) for pair in meta["schema"]])
+    batch = {}
+    for name, _type in table.schema:
+        batch[name] = load_array(directory / f"{name}.col")
+    target = int(meta["rows"])
+    shortest = min((arr.shape[0] for arr in batch.values()), default=target)
+    if shortest < target:
+        issues.append(
+            f"column files hold only {shortest} rows, metadata claims "
+            f"{target}; rolled back to {shortest}"
+        )
+        target = shortest
+    for name, arr in batch.items():
+        if arr.shape[0] > target:
+            issues.append(
+                f"column {name!r}: torn tail of "
+                f"{arr.shape[0] - target} rows rolled back"
+            )
+            batch[name] = arr[:target]
+    if batch:
+        table.append_columns(batch)
+    return table, issues
+
+
+def verify_table(directory: PathLike) -> List[str]:
+    """Check a table directory's on-disk artifacts; returns issues.
+
+    An empty list means: metadata parses, every column file loads with a
+    valid checksum, and all row counts agree.
+    """
+    directory = Path(directory)
+    issues: List[str] = []
+    meta_path = directory / "schema.json"
+    try:
+        meta = json.loads(meta_path.read_text())
+    except FileNotFoundError:
+        return [f"missing schema.json in {directory}"]
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return [f"{meta_path}: corrupt table metadata ({exc})"]
+    rows = meta.get("rows")
+    for pair in meta.get("schema", []):
+        name = pair[0]
+        try:
+            arr = load_array(directory / f"{name}.col")
+        except StorageError as exc:
+            issues.append(str(exc))
+            continue
+        if arr.shape[0] != rows:
+            issues.append(
+                f"{directory / (name + '.col')}: holds {arr.shape[0]} rows, "
+                f"schema.json says {rows}"
+            )
+    return issues
 
 
 def copy_binary(table: Table, column_files: Dict[str, PathLike]) -> int:

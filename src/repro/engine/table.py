@@ -117,6 +117,21 @@ class Table:
         columns = list(zip(*rows))
         return self.append_columns(dict(zip(names, columns)))
 
+    def truncate(self, n: int) -> None:
+        """Roll the table back to its first ``n`` rows.
+
+        Exists for crash recovery (rolling back a torn tail append), not
+        for general mutation; indexes over the table must be invalidated
+        by the caller.
+        """
+        if not 0 <= n <= len(self):
+            raise SchemaError(
+                f"cannot truncate table {self.name!r} of {len(self)} "
+                f"rows to {n}"
+            )
+        for column in self._columns.values():
+            column.truncate(n)
+
     # -- access ------------------------------------------------------------
 
     def fetch(

@@ -46,13 +46,21 @@ class LoadStats:
     seconds: float = 0.0
     read_seconds: float = 0.0
     append_seconds: float = 0.0
+    #: Tiles skipped because the journal proved them already durable.
+    n_skipped: int = 0
+    #: Torn/failed tail rows rolled back before (re)appending.
+    n_rows_rolled_back: int = 0
 
     @property
     def points_per_second(self) -> float:
         return self.n_points / self.seconds if self.seconds else 0.0
 
     def projected_seconds(self, n_points: int) -> float:
-        """Linear extrapolation to a bigger cloud (e.g. AHN2's 640e9)."""
+        """Linear extrapolation to a bigger cloud (e.g. AHN2's 640e9).
+
+        Returns ``inf`` when nothing was measured — report renderers
+        print that as "n/a" (see ``repro.bench.harness.human_seconds``).
+        """
         if self.points_per_second == 0:
             return float("inf")
         return n_points / self.points_per_second
@@ -150,16 +158,97 @@ def load_files(
     table: Table,
     paths: Iterable[PathLike],
     spool_dir: Optional[PathLike] = None,
+    manifest=None,
+    retries: int = 0,
+    backoff: float = 0.01,
+    checkpoint_every: int = 0,
+    checkpoint=None,
 ) -> LoadStats:
-    """Load a set of tiles (the 60,185-file AHN2 layout, scaled down)."""
+    """Load a set of tiles (the 60,185-file AHN2 layout, scaled down).
+
+    Beyond the paper's happy path, the loader is crash-safe:
+
+    * ``manifest`` — a :class:`repro.las.manifest.LoadManifest` journals
+      every tile (``pending`` → ``appended`` → ``indexed``) with source
+      fingerprints; tiles the journal proves durable are skipped, which
+      is how an interrupted ingest resumes exactly where it stopped.
+    * a tile whose read or append fails is **rolled back** — the table
+      is truncated to its pre-tile length, so no half-appended batch
+      survives — before the error propagates (or the tile is retried).
+    * ``retries`` — transient ``OSError``\\ s (NFS hiccups, ``EINTR``)
+      are retried with bounded backoff; typed corruption errors
+      (``LasFormatError``, ``StorageError``) are not, corrupt bytes do
+      not heal on retry.
+    * ``checkpoint`` — a zero-argument durability callback (e.g.
+      ``db.save``) invoked every ``checkpoint_every`` tiles and at the
+      end; afterwards the journal advances those tiles to ``indexed``.
+    """
+    from ..engine.durable import InjectedCrash, crash_point, with_retries
+    from ..engine.storage import StorageError
+
     total = LoadStats()
+    registry = get_registry()
+    since_checkpoint = 0
+
+    def run_checkpoint() -> None:
+        with maybe_span("load.checkpoint", rows=len(table)):
+            checkpoint()
+        crash_point("ingest.checkpointed", rows=len(table))
+        if manifest is not None:
+            manifest.mark_checkpoint(len(table))
+
     for path in paths:
-        stats = load_file(table, path, spool_dir=spool_dir)
+        if manifest is not None and manifest.is_done(path):
+            total.n_skipped += 1
+            registry.counter("load.tiles_skipped").inc()
+            continue
+        rows_before = len(table)
+        if manifest is not None:
+            manifest.begin(path, rows_before)
+            crash_point("ingest.tile_pending", tile=str(path))
+
+        def attempt(path=path, rows_before=rows_before):
+            try:
+                return load_file(table, path, spool_dir=spool_dir)
+            except InjectedCrash:
+                raise  # a dead process rolls nothing back
+            except BaseException:
+                torn = len(table) - rows_before
+                if torn > 0:
+                    table.truncate(rows_before)
+                    total.n_rows_rolled_back += torn
+                    registry.counter("durability.rolled_back_rows").inc(torn)
+                raise
+
+        try:
+            stats = with_retries(
+                attempt,
+                retries=retries,
+                backoff=backoff,
+                retry_on=(OSError,),
+                no_retry=(LasFormatError, StorageError),
+                label="load.tile",
+            )
+        except InjectedCrash:
+            raise  # leave the journal frozen, exactly like a kill -9
+        except BaseException:
+            if manifest is not None:
+                manifest.abort(path)
+            raise
+        if manifest is not None:
+            manifest.mark_appended(path, len(table), stats.n_points)
+            crash_point("ingest.tile_appended", tile=str(path))
         total.n_points += stats.n_points
         total.n_files += 1
         total.seconds += stats.seconds
         total.read_seconds += stats.read_seconds
         total.append_seconds += stats.append_seconds
+        since_checkpoint += 1
+        if checkpoint is not None and checkpoint_every and since_checkpoint >= checkpoint_every:
+            run_checkpoint()
+            since_checkpoint = 0
+    if checkpoint is not None and since_checkpoint:
+        run_checkpoint()
     return total
 
 

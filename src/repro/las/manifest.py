@@ -1,0 +1,213 @@
+"""The bulk-load journal: per-tile manifest for crash-resumable ingest.
+
+The paper's AHN2 ingest (Section 3.2) is a 60,185-file, multi-hour job.
+A crash at tile 48,000 must not mean starting over, so :func:`~repro.las.
+binloader.load_files` can journal its progress in a :class:`LoadManifest`
+— one JSON file, rewritten atomically (see :mod:`repro.engine.durable`)
+at every state transition.
+
+Each tile moves through three states::
+
+    pending   append started (in memory, nothing durable yet)
+    appended  rows are in the in-memory table, not yet checkpointed
+    indexed   a checkpoint has made the rows (and indexes) durable
+
+together with a fingerprint of the source file (size + mtime), so a
+tile that changed on disk between runs is re-loaded rather than wrongly
+skipped.  ``rows_committed`` tracks how many table rows the last
+checkpoint made durable; on resume everything past it — tiles stuck in
+``pending``/``appended``, torn tail rows — is rolled back and redone,
+which is what makes an interrupted ingest byte-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..engine import durable
+
+PathLike = Union[str, Path]
+
+STATE_PENDING = "pending"
+STATE_APPENDED = "appended"
+STATE_INDEXED = "indexed"
+
+_MANIFEST_VERSION = 1
+
+
+class ManifestError(IOError):
+    """Raised on unreadable or foreign manifest files."""
+
+
+@dataclass
+class TileEntry:
+    """Journal record for one source tile."""
+
+    name: str  # tile file name (the key within its directory)
+    size: int  # source fingerprint: byte size ...
+    mtime: float  # ... and modification time
+    state: str = STATE_PENDING
+    rows_before: int = 0  # table length when the append began
+    rows_after: int = 0  # table length after the append
+    n_points: int = 0
+
+
+def fingerprint(path: PathLike) -> Dict[str, float]:
+    """Size/mtime fingerprint of a source tile."""
+    st = os.stat(path)
+    return {"size": st.st_size, "mtime": st.st_mtime}
+
+
+class LoadManifest:
+    """Atomic JSON journal of a bulk load's per-tile progress."""
+
+    def __init__(self, path: PathLike, table: str) -> None:
+        self.path = Path(path)
+        self.table = table
+        self.entries: Dict[str, TileEntry] = {}
+        #: Table rows made durable by the last checkpoint.
+        self.rows_committed = 0
+
+    # -- persistence --------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: PathLike, table: str) -> "LoadManifest":
+        """Load an existing manifest, or start a fresh one.
+
+        A corrupt manifest raises :class:`ManifestError` — the caller
+        decides whether to abort or restart the ingest from scratch; a
+        journal must never be silently misread.
+        """
+        path = Path(path)
+        manifest = cls(path, table)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            return manifest
+        try:
+            meta = json.loads(raw)
+            if meta.get("version") != _MANIFEST_VERSION:
+                raise ManifestError(
+                    f"{path}: unsupported manifest version {meta.get('version')}"
+                )
+            manifest.rows_committed = int(meta.get("rows_committed", 0))
+            for record in meta.get("tiles", []):
+                entry = TileEntry(**record)
+                manifest.entries[entry.name] = entry
+        except ManifestError:
+            raise
+        except (json.JSONDecodeError, TypeError, ValueError, KeyError) as exc:
+            raise ManifestError(f"{path}: corrupt load manifest ({exc})") from None
+        return manifest
+
+    def write(self) -> None:
+        """Persist the journal atomically (temp + fsync + replace)."""
+        meta = {
+            "version": _MANIFEST_VERSION,
+            "table": self.table,
+            "rows_committed": self.rows_committed,
+            "tiles": [asdict(e) for e in self.entries.values()],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        durable.atomic_write_text(
+            self.path, json.dumps(meta, indent=2), label="manifest"
+        )
+
+    def discard(self) -> None:
+        """Delete the journal file (fresh, non-resumed loads)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+        self.entries.clear()
+        self.rows_committed = 0
+
+    # -- state transitions --------------------------------------------------
+
+    def is_done(self, path: PathLike) -> bool:
+        """True when this tile is durably loaded and unchanged on disk."""
+        entry = self.entries.get(Path(path).name)
+        if entry is None or entry.state != STATE_INDEXED:
+            return False
+        fp = fingerprint(path)
+        return entry.size == fp["size"] and entry.mtime == fp["mtime"]
+
+    def begin(self, path: PathLike, rows_before: int) -> TileEntry:
+        """Record that a tile's append is starting (state ``pending``)."""
+        path = Path(path)
+        fp = fingerprint(path)
+        entry = TileEntry(
+            name=path.name,
+            size=int(fp["size"]),
+            mtime=fp["mtime"],
+            state=STATE_PENDING,
+            rows_before=rows_before,
+        )
+        self.entries[path.name] = entry
+        self.write()
+        return entry
+
+    def mark_appended(self, path: PathLike, rows_after: int, n_points: int) -> None:
+        """In-memory append done (state ``appended``)."""
+        entry = self.entries[Path(path).name]
+        entry.state = STATE_APPENDED
+        entry.rows_after = rows_after
+        entry.n_points = n_points
+        self.write()
+
+    def abort(self, path: PathLike) -> None:
+        """Drop a tile whose append failed and was rolled back."""
+        self.entries.pop(Path(path).name, None)
+        self.write()
+
+    def mark_checkpoint(self, rows_committed: int) -> None:
+        """A checkpoint made everything appended so far durable.
+
+        Every ``appended`` entry advances to ``indexed`` and
+        ``rows_committed`` moves forward — written last, atomically, so
+        the journal never claims durability the store does not have.
+        """
+        for entry in self.entries.values():
+            if entry.state == STATE_APPENDED:
+                entry.state = STATE_INDEXED
+        self.rows_committed = rows_committed
+        self.write()
+
+    # -- recovery -----------------------------------------------------------
+
+    def reconcile(self, table_rows: int) -> int:
+        """Roll the journal back to the durable state on resume.
+
+        ``table_rows`` is the row count actually recovered from disk.
+        Entries that never reached ``indexed``, or whose rows lie beyond
+        the committed tail, are dropped (their tiles will be redone).
+        Returns the reconciled ``rows_committed``.
+        """
+        committed = min(self.rows_committed, table_rows)
+        stale = [
+            name
+            for name, entry in self.entries.items()
+            if entry.state != STATE_INDEXED or entry.rows_after > committed
+        ]
+        for name in stale:
+            del self.entries[name]
+        self.rows_committed = committed
+        self.write()
+        return committed
+
+    @property
+    def states(self) -> Dict[str, List[str]]:
+        """Tile names grouped by state (reporting/debugging aid)."""
+        out: Dict[str, List[str]] = {
+            STATE_PENDING: [],
+            STATE_APPENDED: [],
+            STATE_INDEXED: [],
+        }
+        for entry in self.entries.values():
+            out.setdefault(entry.state, []).append(entry.name)
+        return out

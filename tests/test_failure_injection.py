@@ -127,6 +127,121 @@ class TestCorruptColumnFiles:
             pass
 
 
+class TestTruncatedPersistentFiles:
+    """Truncations and bit flips at sampled offsets must raise typed
+    errors — ``StorageError`` / ``ImprintPersistError`` — never a raw
+    ``struct.error`` or a silently wrong array (the v2 ``.col`` / v3
+    ``.imprint`` checksums cover the whole file, header included)."""
+
+    _col_raw = None
+    _imprint_raw = None
+
+    @classmethod
+    def _column_bytes(cls) -> bytes:
+        if cls._col_raw is None:
+            import tempfile
+            from pathlib import Path
+
+            with tempfile.TemporaryDirectory() as tmp:
+                path = Path(tmp) / "v.col"
+                dump_array(np.arange(64, dtype=np.int64), path)
+                cls._col_raw = path.read_bytes()
+        return cls._col_raw
+
+    @classmethod
+    def _imprint_bytes(cls) -> bytes:
+        if cls._imprint_raw is None:
+            import tempfile
+            from pathlib import Path
+
+            from repro.core.imprints.persist import save_segmented
+            from repro.core.imprints.segments import SegmentedImprints
+            from repro.engine.column import Column
+
+            rng = np.random.default_rng(3)
+            column = Column.from_array("x", rng.uniform(0, 100, 2048))
+            imprint = SegmentedImprints(column, segment_rows=512, threads=1)
+            with tempfile.TemporaryDirectory() as tmp:
+                path = Path(tmp) / "x.imprint"
+                save_segmented(imprint, "pts", "x", path)
+                cls._imprint_raw = path.read_bytes()
+        return cls._imprint_raw
+
+    @settings(max_examples=60, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    def test_truncated_col_raises_typed_error(self, fraction, tmp_path_factory):
+        raw = self._column_bytes()
+        cut = int(fraction * len(raw))
+        path = tmp_path_factory.mktemp("trunc") / "v.col"
+        path.write_bytes(raw[:cut])
+        with pytest.raises(StorageError):
+            load_array(path)
+
+    @settings(max_examples=60, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    def test_flipped_col_byte_raises_typed_error(
+        self, fraction, tmp_path_factory
+    ):
+        raw = bytearray(self._column_bytes())
+        raw[int(fraction * len(raw))] ^= 0xFF
+        path = tmp_path_factory.mktemp("flip") / "v.col"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError):
+            load_array(path)
+
+    @settings(max_examples=60, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    def test_truncated_imprint_raises_typed_error(
+        self, fraction, tmp_path_factory
+    ):
+        from repro.core.imprints.persist import (
+            ImprintPersistError,
+            verify_segmented_file,
+        )
+
+        raw = self._imprint_bytes()
+        cut = int(fraction * len(raw))
+        path = tmp_path_factory.mktemp("itrunc") / "x.imprint"
+        path.write_bytes(raw[:cut])
+        with pytest.raises(ImprintPersistError):
+            verify_segmented_file(path)
+
+    @settings(max_examples=60, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    def test_flipped_imprint_byte_raises_typed_error(
+        self, fraction, tmp_path_factory
+    ):
+        from repro.core.imprints.persist import (
+            ImprintPersistError,
+            verify_segmented_file,
+        )
+
+        raw = bytearray(self._imprint_bytes())
+        raw[int(fraction * len(raw))] ^= 0xFF
+        path = tmp_path_factory.mktemp("iflip") / "x.imprint"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ImprintPersistError):
+            verify_segmented_file(path)
+
+    def test_truncated_imprint_never_loads_over_a_column(
+        self, tmp_path
+    ):
+        from repro.core.imprints.persist import (
+            ImprintPersistError,
+            load_segmented,
+        )
+        from repro.engine.column import Column
+
+        raw = self._imprint_bytes()
+        rng = np.random.default_rng(3)
+        column = Column.from_array("x", rng.uniform(0, 100, 2048))
+        for cut in (0, 3, 17, len(raw) // 2, len(raw) - 1):
+            path = tmp_path / f"cut_{cut}.imprint"
+            path.write_bytes(raw[:cut])
+            with pytest.raises(ImprintPersistError):
+                load_segmented(column, path)
+
+
 class TestCorruptLaxIndex:
     def test_truncated_json(self, tmp_path):
         rng = np.random.default_rng(0)
