@@ -1,0 +1,48 @@
+"""`repro-check`: AST-based static analysis for the project's invariants.
+
+PRs layered threads, tracing and crash-safe persistence onto the flat
+table/imprint engine, and each layer came with invariants nothing used
+to enforce:
+
+* all persistence routes through :mod:`repro.engine.durable` (R1),
+* :class:`~repro.engine.durable.InjectedCrash` — a ``BaseException`` —
+  must never be silently absorbed (R2),
+* shared state is mutated under its lock, and locks are acquired in a
+  consistent order (R3),
+* ``struct`` format strings agree with their declared header-size
+  constants and pack/unpack call shapes (R4),
+* hot-path modules time themselves through :mod:`repro.obs` helpers,
+  not raw ``time.perf_counter`` (R5),
+* every metric name used in ``src/`` is declared in
+  :mod:`repro.obs.names` (R6).
+
+The framework is zero-dependency (stdlib ``ast`` only): rules register
+in a global registry, findings can be grandfathered into a committed
+baseline file with a justification, and reports render as text or
+JSON.  Run it as ``repro-gis check`` or ``python -m repro.analysis``.
+"""
+
+from .engine import Project, run_check
+from .findings import Finding, Severity
+from .registry import Rule, all_rules, get_rule, register
+
+# Importing the rule modules registers them.
+from .rules import (  # noqa: F401
+    counter_registry,
+    crash_transparency,
+    durable_write,
+    lock_discipline,
+    span_discipline,
+    struct_format,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "Project",
+    "all_rules",
+    "get_rule",
+    "register",
+    "run_check",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — same driver as ``repro-gis check``."""
+
+import sys
+
+from .main import main
+
+if __name__ == "__main__":  # pragma: no cover - thin shim
+    sys.exit(main())

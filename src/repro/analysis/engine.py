@@ -1,0 +1,203 @@
+"""Project model and the check driver.
+
+:func:`run_check` walks a source tree, parses every ``.py`` file once,
+hands the parsed modules to each registered rule, applies the baseline
+and returns a :class:`~repro.analysis.findings.Report`.  Everything a
+rule needs — source, AST, per-line text, project-level lookups — lives
+on :class:`ModuleInfo` / :class:`Project`, so rules never touch the
+filesystem themselves (which is what makes them trivially testable on
+synthetic fixture trees).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline
+from .findings import Finding, Report, Severity
+from .registry import Rule, select_rules
+
+
+def _default_metric_names() -> Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]:
+    from ..obs import names
+
+    return (names.COUNTERS, names.GAUGES, names.HISTOGRAMS)
+
+
+@dataclass
+class Config:
+    """Tunable rule configuration.
+
+    Paths are posix, relative to the scan root's *parent* (so for the
+    real tree they read ``repro/engine/durable.py``).  Tests point these
+    at fixture trees.
+    """
+
+    #: R1: the only modules allowed to open files for writing / rename.
+    durable_allowed: FrozenSet[str] = frozenset({"repro/engine/durable.py"})
+    #: R3: modules included in the lock-graph analysis.
+    lock_modules: FrozenSet[str] = frozenset(
+        {
+            "repro/obs/metrics.py",
+            "repro/obs/trace.py",
+            "repro/engine/parallel.py",
+            "repro/core/imprints/manager.py",
+        }
+    )
+    #: R5: hot-path modules that must use obs timing helpers.
+    hotpath_modules: FrozenSet[str] = frozenset(
+        {
+            "repro/core/query.py",
+            "repro/core/imprints/manager.py",
+            "repro/engine/select.py",
+            "repro/engine/parallel.py",
+            "repro/engine/aggregate.py",
+            "repro/engine/join.py",
+            "repro/sql/executor.py",
+        }
+    )
+    #: R5/R6: obs modules themselves are exempt (they *are* the helpers).
+    obs_modules: FrozenSet[str] = frozenset(
+        {
+            "repro/obs/__init__.py",
+            "repro/obs/trace.py",
+            "repro/obs/metrics.py",
+            "repro/obs/timing.py",
+            "repro/obs/names.py",
+        }
+    )
+    #: R6: declared metric names; ``None`` loads :mod:`repro.obs.names`.
+    metric_names: Optional[
+        Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]
+    ] = None
+
+    def metrics(self) -> Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]:
+        if self.metric_names is not None:
+            return self.metric_names
+        return _default_metric_names()
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path  # absolute
+    relpath: str  # posix, relative to scan root's parent
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "ModuleInfo":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+
+
+class Project:
+    """All parsed modules plus the rule configuration."""
+
+    def __init__(self, modules: Sequence[ModuleInfo], config: Optional[Config] = None):
+        self.modules = list(modules)
+        self.config = config if config is not None else Config()
+        self._by_relpath: Dict[str, ModuleInfo] = {
+            m.relpath: m for m in self.modules
+        }
+
+    def module(self, relpath: str) -> Optional[ModuleInfo]:
+        return self._by_relpath.get(relpath)
+
+    @classmethod
+    def load(
+        cls,
+        root: Path,
+        config: Optional[Config] = None,
+        paths: Optional[Sequence[Path]] = None,
+    ) -> "Project":
+        """Parse ``root``'s tree (or an explicit file list).
+
+        ``relpath`` is computed against ``root.parent`` so the root
+        directory's own name leads every path (``repro/...``).
+        """
+        root = Path(root).resolve()
+        if paths is None:
+            files = sorted(p for p in root.rglob("*.py") if p.is_file())
+        else:
+            files = [Path(p).resolve() for p in paths]
+        modules = []
+        for path in files:
+            try:
+                rel = path.relative_to(root.parent).as_posix()
+            except ValueError:
+                rel = path.name
+            modules.append(ModuleInfo.parse(path, rel))
+        return cls(modules, config=config)
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the default scan root)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path(root: Optional[Path] = None) -> Path:
+    """``repro-check.baseline.json`` next to the source tree.
+
+    For a ``src/repro`` layout that is the repository root; for an
+    installed package it degrades to a path that simply does not exist,
+    which the loader treats as an empty baseline.
+    """
+    root = Path(root) if root is not None else default_root()
+    return root.parent.parent / "repro-check.baseline.json"
+
+
+def run_check(
+    root: Optional[Path] = None,
+    *,
+    config: Optional[Config] = None,
+    baseline: Optional[Baseline] = None,
+    baseline_path: Optional[Path] = None,
+    rule_ids: Optional[Iterable[str]] = None,
+    paths: Optional[Sequence[Path]] = None,
+) -> Report:
+    """Run the registered rules and fold in the baseline.
+
+    ``baseline`` wins over ``baseline_path``; passing neither loads the
+    committed default (missing file = empty baseline).
+    """
+    root = Path(root) if root is not None else default_root()
+    project = Project.load(root, config=config, paths=paths)
+    if baseline is None:
+        path = (
+            Path(baseline_path)
+            if baseline_path is not None
+            else default_baseline_path(root)
+        )
+        baseline = Baseline.load(path)
+
+    rules = select_rules(rule_ids)
+    findings: List[Finding] = []
+    for rule in rules:
+        for module in project.modules:
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.check_project(project))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report = Report(files_scanned=len(project.modules))
+    for finding in findings:
+        if baseline.matches(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    report.unused_baseline = baseline.unused()
+    return report

@@ -1,0 +1,103 @@
+"""Rule base class and the global rule registry.
+
+A rule subclasses :class:`Rule`, sets ``id``/``severity``/``doc`` and
+implements either :meth:`Rule.check_module` (per-file rules) or
+:meth:`Rule.check_project` (cross-file rules such as lock-order cycles
+or the metric-name registry).  Decorating the class with
+:func:`register` adds one instance to the registry that
+:func:`repro.analysis.engine.run_check` runs by default.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Type
+
+from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import ModuleInfo, Project
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+class Rule:
+    """One named invariant check.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier (``durable-write``...); baseline entries and
+        ``--select`` refer to it.
+    severity:
+        Default severity of this rule's findings.
+    doc:
+        One-line description shown by ``repro-gis check --list-rules``.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    doc: str = ""
+
+    def check_module(self, module: "ModuleInfo") -> Iterator[Finding]:
+        """Findings for one parsed module (default: none)."""
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Findings needing the whole project (default: none)."""
+        return iter(())
+
+    # -- helpers shared by concrete rules ----------------------------------
+
+    def finding(
+        self,
+        module: "ModuleInfo",
+        line: int,
+        col: int,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a finding at ``line`` with the source snippet filled in."""
+        snippet = ""
+        if 1 <= line <= len(module.lines):
+            snippet = module.lines[line - 1].strip()
+        return Finding(
+            rule=self.id,
+            severity=severity if severity is not None else self.severity,
+            path=module.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=snippet,
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add the rule to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def select_rules(ids: Optional[Iterable[str]]) -> List[Rule]:
+    """The rules for an optional ``--select`` list (None = all)."""
+    if ids is None:
+        return all_rules()
+    return [get_rule(i) for i in ids]

@@ -1,0 +1,1 @@
+"""The project-specific rules (importing a module registers its rule)."""

@@ -1,0 +1,73 @@
+"""R6 ``counter-registry``: metric names must be declared, once.
+
+Metrics are get-or-create by name, so a typo — ``durability.retires``
+for ``durability.retries`` — silently forks a new series and the
+dashboards read zero forever.  Every literal name passed to
+``.counter("...")`` / ``.gauge("...")`` / ``.histogram("...")`` in the
+scanned tree must appear in the declared registry
+(:mod:`repro.obs.names`); adding a metric means declaring it there
+first, which doubles as the documentation index.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import string_literal
+from ..findings import Finding
+from ..registry import Rule, register
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _close_matches(name: str, candidates) -> str:
+    import difflib
+
+    matches = difflib.get_close_matches(name, sorted(candidates), n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+@register
+class CounterRegistryRule(Rule):
+    id = "counter-registry"
+    doc = "metric names used in src/ must be declared in repro.obs.names"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        counters, gauges, histograms = project.config.metrics()
+        declared = {
+            "counter": counters,
+            "gauge": gauges,
+            "histogram": histograms,
+        }
+        exempt = project.config.obs_modules
+        for module in project.modules:
+            if module.relpath in exempt:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr in _KINDS
+                ):
+                    continue
+                if not node.args:
+                    continue
+                name = string_literal(node.args[0])
+                if name is None:
+                    continue  # dynamic name: out of scope for the linter
+                if name not in declared[func.attr]:
+                    hint = _close_matches(
+                        name,
+                        declared[func.attr]
+                        or declared["counter"] | declared["histogram"],
+                    )
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"{func.attr} name {name!r} is not declared in "
+                        f"repro.obs.names{hint}; declare it there (typo'd "
+                        "names silently fork a new series)",
+                    )

@@ -1,0 +1,72 @@
+"""R2 ``crash-transparency``: never swallow ``BaseException``.
+
+The fault-injection harness simulates a process kill by raising
+:class:`~repro.engine.durable.InjectedCrash`, a ``BaseException``
+subclass, from instrumented crash points.  A bare ``except:`` or an
+``except BaseException:`` that does not re-raise absorbs the simulated
+kill and turns a crash-recovery test into a silent no-op — exactly the
+failure mode the harness exists to catch.  Handlers must re-raise (a
+``raise`` anywhere in the handler body counts, conservatively) or
+narrow to ``except Exception``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import Rule, register
+
+
+def _contains_raise(node: ast.AST) -> bool:
+    if isinstance(node, ast.Raise):
+        return True
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        return False  # nested functions run later, if at all
+    return any(_contains_raise(child) for child in ast.iter_child_nodes(node))
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """True when any ``raise`` appears in the handler body."""
+    return any(_contains_raise(stmt) for stmt in handler.body)
+
+
+@register
+class CrashTransparencyRule(Rule):
+    id = "crash-transparency"
+    doc = "bare except / except BaseException that does not re-raise"
+
+    def check_module(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = self._overbroad_label(node)
+            if label is None:
+                continue
+            if _handler_reraises(node):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"{label} swallows BaseException (including InjectedCrash, "
+                "the simulated process kill): re-raise, or narrow to "
+                "'except Exception'",
+            )
+
+    @staticmethod
+    def _overbroad_label(handler: ast.ExceptHandler):
+        """'except:' / 'except BaseException' when overbroad, else None."""
+        if handler.type is None:
+            return "bare 'except:'"
+        names = (
+            [dotted_name(e) for e in handler.type.elts]
+            if isinstance(handler.type, ast.Tuple)
+            else [dotted_name(handler.type)]
+        )
+        for name in names:
+            if name in ("BaseException", "builtins.BaseException"):
+                return "'except BaseException'"
+        return None

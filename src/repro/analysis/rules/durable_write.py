@@ -1,0 +1,86 @@
+"""R1 ``durable-write``: persistence must route through ``engine/durable.py``.
+
+Raw ``open(..., "wb")`` (any writable mode), ``os.replace`` and
+``json.dump``-to-a-file are how torn output happens: a crash mid-write
+leaves a half-file that the loader later trusts.  The only module
+allowed to touch those primitives is :mod:`repro.engine.durable`, whose
+``atomic_write_bytes`` does temp-file + fsync + rename.  Everything
+else either calls the helper or carries a baseline entry explaining why
+streaming output is acceptable (e.g. the LAZ chunk writer).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..astutil import dotted_name, string_literal
+from ..findings import Finding
+from ..registry import Rule, register
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _is_write_mode(mode: str) -> bool:
+    return bool(set(mode) & _WRITE_MODE_CHARS)
+
+
+@register
+class DurableWriteRule(Rule):
+    id = "durable-write"
+    doc = (
+        "raw open(..., 'wb')/os.replace/json.dump-to-file outside "
+        "engine/durable.py"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        allowed = project.config.durable_allowed
+        for module in project.modules:
+            if module.relpath in allowed:
+                continue
+            yield from self._check(module)
+
+    def _check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in ("open", "io.open"):
+                mode = self._open_mode(node)
+                if mode is not None and _is_write_mode(mode):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"raw open(..., {mode!r}) bypasses "
+                        "engine/durable.py: use atomic_write_bytes/"
+                        "atomic_write_text so a crash cannot tear the file",
+                    )
+            elif name in ("os.replace", "os.rename"):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name} outside engine/durable.py: route renames "
+                    "through the durable layer (its _replace patch point "
+                    "is what the fault harness tears)",
+                )
+            elif name == "json.dump" and len(node.args) >= 2:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    "json.dump to an open file bypasses engine/durable.py: "
+                    "serialise with json.dumps and write via "
+                    "atomic_write_text",
+                )
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> Optional[str]:
+        """The mode literal of an open() call, or None when unknowable."""
+        if len(node.args) >= 2:
+            return string_literal(node.args[1])
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                return string_literal(keyword.value)
+        return "r"  # default mode is read-only: not a finding

@@ -1,0 +1,338 @@
+"""R3 ``lock-discipline``: mutate shared state under its lock, in order.
+
+Over the configured concurrency modules this rule builds a static
+model of lock usage:
+
+* **Lock inventory** — ``self._lock = threading.Lock()`` (or ``RLock``)
+  in ``__init__`` declares an instance lock ``Class.<attr>``;
+  ``NAME = threading.Lock()`` at module level declares a module lock
+  ``<module>.<NAME>``.
+* **Guarded-write analysis** — for every class owning a lock, each
+  write to ``self.<attr>`` (assignment, augmented assignment, subscript
+  store, or a mutating method call like ``.append``/``.pop``) is
+  recorded together with the locks statically held at that point.
+  An attribute written *both* under the class's own lock *and* with no
+  lock held — outside ``__init__``, where the object is not yet shared
+  — is flagged at the unguarded site.
+* **Lock-order graph** — acquiring lock B while holding lock A adds the
+  edge A→B; any cycle in the combined graph across the configured
+  modules (a potential ABBA deadlock) is flagged once per cycle.
+
+The analysis is intraprocedural and name-based — it cannot see a lock
+passed through a helper — which is exactly enough for this codebase's
+convention of ``with self._lock:`` blocks around plain attribute state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Method calls treated as mutations of ``self.<attr>``.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "remove",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "appendleft",
+    }
+)
+
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "Lock",
+        "RLock",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+
+class _Write:
+    __slots__ = ("attr", "held", "lineno", "col", "function", "kind")
+
+    def __init__(self, attr, held, lineno, col, function, kind):
+        self.attr = attr
+        self.held = held  # frozenset of lock ids held at the write
+        self.lineno = lineno
+        self.col = col
+        self.function = function
+        self.kind = kind  # "assign" | "mutate"
+
+
+class _ModuleLockModel(ast.NodeVisitor):
+    """Collect locks, guarded writes and acquisition edges for a module."""
+
+    def __init__(self, module_label: str):
+        self.module_label = module_label
+        self.module_locks: Dict[str, str] = {}  # local name -> lock id
+        self.class_locks: Dict[str, Dict[str, str]] = {}  # class -> attr -> id
+        self.writes: Dict[str, List[_Write]] = {}  # class -> writes
+        self.edges: Dict[Tuple[str, str], Tuple[int, str]] = {}
+        self._class: Optional[str] = None
+        self._function: Optional[str] = None
+        self._held: Tuple[str, ...] = ()
+
+    # -- inventory ---------------------------------------------------------
+
+    def _lock_id_for_with_item(self, expr: ast.AST) -> Optional[str]:
+        """The lock id acquired by ``with <expr>:``, if we know it."""
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        if name.startswith("self."):
+            attr = name[len("self."):]
+            if self._class and attr in self.class_locks.get(self._class, {}):
+                return self.class_locks[self._class][attr]
+            return None
+        return self.module_locks.get(name)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        # Pass 1: module-level locks and per-class lock attributes, so
+        # later `with` lookups resolve regardless of definition order.
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                factory = dotted_name(stmt.value.func)
+                if factory in _LOCK_FACTORIES:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.module_locks[target.id] = (
+                                f"{self.module_label}.{target.id}"
+                            )
+            if isinstance(stmt, ast.ClassDef):
+                self._collect_class_locks(stmt)
+        self.generic_visit(node)
+
+    def _collect_class_locks(self, node: ast.ClassDef) -> None:
+        locks: Dict[str, str] = {}
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Assign):
+                continue
+            if not isinstance(child.value, ast.Call):
+                continue
+            if dotted_name(child.value.func) not in _LOCK_FACTORIES:
+                continue
+            for target in child.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks[target.attr] = f"{node.name}.{target.attr}"
+        if locks:
+            self.class_locks[node.name] = locks
+
+    # -- traversal state ---------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        previous = self._class
+        self._class = node.name
+        self.generic_visit(node)
+        self._class = previous
+
+    def _visit_function(self, node) -> None:
+        previous, held = self._function, self._held
+        self._function = node.name
+        self._held = ()  # a new frame does not inherit `with` blocks
+        self.generic_visit(node)
+        self._function, self._held = previous, held
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = []
+        for item in node.items:
+            lock_id = self._lock_id_for_with_item(item.context_expr)
+            if lock_id is not None:
+                for holder in self._held:
+                    if holder != lock_id:
+                        self.edges.setdefault(
+                            (holder, lock_id),
+                            (node.lineno, self.module_label),
+                        )
+                acquired.append(lock_id)
+        self._held = self._held + tuple(acquired)
+        self.generic_visit(node)
+        if acquired:
+            self._held = self._held[: len(self._held) - len(acquired)]
+
+    # -- writes ------------------------------------------------------------
+
+    def _record_write(self, attr: str, node: ast.AST, kind: str) -> None:
+        if self._class is None or self._function is None:
+            return
+        self.writes.setdefault(self._class, []).append(
+            _Write(
+                attr,
+                frozenset(self._held),
+                node.lineno,
+                node.col_offset,
+                self._function,
+                kind,
+            )
+        )
+
+    def _write_target_attr(self, target: ast.AST) -> Optional[str]:
+        """``self.x`` or ``self.x[...]`` as a write to attr ``x``."""
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = self._write_target_attr(target)
+            if attr is not None:
+                self._record_write(attr, node, "assign")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = self._write_target_attr(node.target)
+        if attr is not None:
+            self._record_write(attr, node, "assign")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            attr = self._write_target_attr(target)
+            if attr is not None:
+                self._record_write(attr, node, "assign")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            self._record_write(func.value.attr, node, "mutate")
+        self.generic_visit(node)
+
+
+def _find_cycles(edges: Dict[Tuple[str, str], Tuple[int, str]]) -> List[List[str]]:
+    """Simple cycles in the lock-order graph (DFS, deduplicated by the
+    cycle's sorted node set)."""
+    graph: Dict[str, Set[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    cycles: List[List[str]] = []
+    seen_sets: Set[frozenset] = set()
+
+    def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
+        for succ in sorted(graph.get(node, ())):
+            if succ == start:
+                key = frozenset(path)
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(path + [start])
+            elif succ not in visited:
+                visited.add(succ)
+                dfs(start, succ, path + [succ], visited)
+                visited.discard(succ)
+
+    for start in sorted(graph):
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    doc = (
+        "shared attributes written both inside and outside their lock; "
+        "inconsistent lock-acquisition order"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        all_edges: Dict[Tuple[str, str], Tuple[int, str]] = {}
+        edge_modules: Dict[Tuple[str, str], object] = {}
+        for module in project.modules:
+            if module.relpath not in project.config.lock_modules:
+                continue
+            label = module.relpath.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+            model = _ModuleLockModel(label)
+            model.visit(module.tree)
+            yield from self._check_guarded_writes(module, model)
+            for edge, site in model.edges.items():
+                if edge not in all_edges:
+                    all_edges[edge] = site
+                    edge_modules[edge] = module
+
+        for cycle in _find_cycles(all_edges):
+            first_edge = (cycle[0], cycle[1])
+            lineno, _ = all_edges.get(first_edge, (1, ""))
+            module = edge_modules.get(first_edge)
+            if module is None:
+                continue
+            yield self.finding(
+                module,
+                lineno,
+                0,
+                "inconsistent lock order: "
+                + " -> ".join(cycle)
+                + " forms a cycle (potential ABBA deadlock); pick one "
+                "global acquisition order",
+            )
+
+    def _check_guarded_writes(
+        self, module, model: _ModuleLockModel
+    ) -> Iterator[Finding]:
+        for class_name, writes in model.writes.items():
+            class_lock_ids = set(
+                model.class_locks.get(class_name, {}).values()
+            )
+            if not class_lock_ids:
+                continue  # lock-free class: nothing to hold
+            lock_attrs = set(model.class_locks.get(class_name, {}))
+            by_attr: Dict[str, List[_Write]] = {}
+            for write in writes:
+                if write.attr in lock_attrs:
+                    continue  # assigning the lock itself
+                by_attr.setdefault(write.attr, []).append(write)
+            for attr, attr_writes in sorted(by_attr.items()):
+                locked = [
+                    w
+                    for w in attr_writes
+                    if w.held & class_lock_ids
+                ]
+                unlocked = [
+                    w
+                    for w in attr_writes
+                    if not w.held
+                    and w.function not in ("__init__", "__new__")
+                ]
+                if locked and unlocked:
+                    for write in unlocked:
+                        yield self.finding(
+                            module,
+                            write.lineno,
+                            write.col,
+                            f"{class_name}.{attr} is written under "
+                            f"{sorted(w for l in locked for w in l.held)[0]} "
+                            f"elsewhere but mutated here in "
+                            f"{write.function}() with no lock held",
+                        )

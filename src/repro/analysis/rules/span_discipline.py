@@ -1,0 +1,61 @@
+"""R5 ``span-discipline``: hot paths time themselves through ``obs``.
+
+The observability layer promises that disabled tracing costs one
+attribute check; that only holds while hot-path code takes its wall
+clock through :mod:`repro.obs` (``maybe_span``, ``obs.timing.now`` /
+``Stopwatch``) rather than scattering raw ``time.time()`` /
+``time.perf_counter()`` calls that the tracer can never see.  This rule
+flags direct clock calls in the configured hot-path modules; the obs
+modules themselves are exempt because they *are* the helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import Rule, register
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "_time.time",
+        "_time.perf_counter",
+        "_time.monotonic",
+    }
+)
+
+
+@register
+class SpanDisciplineRule(Rule):
+    id = "span-discipline"
+    doc = (
+        "direct time.time/perf_counter calls in hot-path modules "
+        "(use repro.obs timing helpers)"
+    )
+
+    def check_project(self, project) -> Iterator[Finding]:
+        hot = project.config.hotpath_modules
+        exempt = project.config.obs_modules
+        for module in project.modules:
+            if module.relpath not in hot or module.relpath in exempt:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                if name in _CLOCK_CALLS:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"hot-path module calls {name}() directly: use "
+                        "repro.obs.timing.now()/Stopwatch (or maybe_span) "
+                        "so timing stays observable and consistent",
+                    )

@@ -1,0 +1,206 @@
+"""R4 ``struct-format``: format strings must match their declared shape.
+
+The ``.col`` / ``.imprint`` / LAS headers are hand-packed binary
+layouts; a format-string edit that drifts from the module's declared
+size constant (or from a ``pack``/``unpack`` call shape) currently only
+surfaces as a checksum failure at load time, far from the edit.  This
+rule makes the drift a lint error at the definition site:
+
+* every literal ``struct.Struct("...")`` / ``struct.calcsize("...")``
+  format must parse,
+* a static comparison ``NAME.size == CONST`` (e.g. the
+  ``assert _STRUCT.size == HEADER_SIZE`` guard in ``las/header.py``)
+  is evaluated against the computed size,
+* ``NAME.pack(a, b, ...)`` must pass exactly as many values as the
+  format has fields,
+* ``a, b, c = NAME.unpack(...)`` must bind exactly as many names as the
+  format yields.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import struct
+from typing import Dict, Iterator, Optional
+
+from ..astutil import dotted_name, int_literal, string_literal
+from ..findings import Finding
+from ..registry import Rule, register
+
+_FIELD_RE = re.compile(r"(\d*)([xcbB?hHiIlLqQnNefdspP])")
+
+
+def field_count(fmt: str) -> int:
+    """Number of values ``pack`` consumes / ``unpack`` yields for ``fmt``.
+
+    ``s``/``p`` consume their repeat count as one bytes value; ``x`` pad
+    bytes consume none; every other code repeats element-wise.
+    """
+    body = fmt
+    if body and body[0] in "@=<>!":
+        body = body[1:]
+    count = 0
+    for match in _FIELD_RE.finditer(body.replace(" ", "")):
+        repeat_text, code = match.groups()
+        repeat = int(repeat_text) if repeat_text else 1
+        if code == "x":
+            pass
+        elif code in "sp":
+            count += 1
+        else:
+            count += repeat
+    return count
+
+
+@register
+class StructFormatRule(Rule):
+    id = "struct-format"
+    doc = (
+        "struct format strings inconsistent with size constants or "
+        "pack/unpack call shapes"
+    )
+
+    def check_module(self, module) -> Iterator[Finding]:
+        if "struct" not in module.source:
+            return
+        structs: Dict[str, str] = {}  # local name -> format literal
+        constants: Dict[str, int] = {}  # module-level int constants
+
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                value = int_literal(stmt.value)
+                if value is not None:
+                    constants[target.id] = value
+                fmt = self._struct_literal(stmt.value)
+                if fmt is not None:
+                    structs[target.id] = fmt
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, structs)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(module, node, structs, constants)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_unpack_assign(module, node, structs)
+
+    # -- pieces ------------------------------------------------------------
+
+    @staticmethod
+    def _struct_literal(node: ast.AST) -> Optional[str]:
+        """The format of a ``struct.Struct("<...>")`` call, else None."""
+        if not isinstance(node, ast.Call):
+            return None
+        if dotted_name(node.func) not in ("struct.Struct", "Struct"):
+            return None
+        if len(node.args) != 1:
+            return None
+        return string_literal(node.args[0])
+
+    def _check_call(self, module, node: ast.Call, structs) -> Iterator[Finding]:
+        # Invalid format literal anywhere it is declared or used inline.
+        fmt = self._struct_literal(node)
+        name = dotted_name(node.func)
+        if fmt is None and name in ("struct.calcsize", "struct.pack", "struct.unpack"):
+            if node.args:
+                fmt = string_literal(node.args[0])
+        if fmt is not None:
+            try:
+                struct.calcsize(fmt)
+            except struct.error as exc:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"invalid struct format {fmt!r}: {exc}",
+                )
+                return
+
+        # NAME.pack(...) arity against the declared format.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "pack"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in structs
+        ):
+            if any(isinstance(a, ast.Starred) for a in node.args):
+                return  # *args: arity unknowable statically
+            expected = field_count(structs[func.value.id])
+            got = len(node.args)
+            if got != expected:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{func.value.id}.pack() passes {got} values but format "
+                    f"{structs[func.value.id]!r} has {expected} fields",
+                )
+
+    def _check_compare(
+        self, module, node: ast.Compare, structs, constants
+    ) -> Iterator[Finding]:
+        """Statically evaluate ``NAME.size == CONST`` comparisons."""
+        if len(node.ops) != 1 or not isinstance(node.ops[0], ast.Eq):
+            return
+        sides = [node.left, node.comparators[0]]
+        size: Optional[int] = None
+        const: Optional[int] = None
+        const_name = struct_name = ""
+        for side in sides:
+            name = dotted_name(side)
+            if name and name.endswith(".size") and name[: -len(".size")] in structs:
+                struct_name = name[: -len(".size")]
+                fmt = structs[struct_name]
+                try:
+                    size = struct.calcsize(fmt)
+                except struct.error:
+                    return  # reported by _check_call at the declaration
+            elif isinstance(side, ast.Name) and side.id in constants:
+                const = constants[side.id]
+                const_name = side.id
+            elif int_literal(side) is not None:
+                const = int_literal(side)
+                const_name = str(const)
+        if size is not None and const is not None and size != const:
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"{struct_name}.size is {size} but {const_name} is "
+                f"{const}: the format string and the declared header size "
+                "have drifted apart",
+            )
+
+    def _check_unpack_assign(
+        self, module, node: ast.Assign, structs
+    ) -> Iterator[Finding]:
+        """``a, b, c = NAME.unpack(...)`` arity check."""
+        if len(node.targets) != 1 or not isinstance(node.value, ast.Call):
+            return
+        target = node.targets[0]
+        if not isinstance(target, (ast.Tuple, ast.List)):
+            return
+        if any(isinstance(e, ast.Starred) for e in target.elts):
+            return
+        func = node.value.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("unpack", "unpack_from")
+            and isinstance(func.value, ast.Name)
+            and func.value.id in structs
+        ):
+            return
+        expected = field_count(structs[func.value.id])
+        got = len(target.elts)
+        if got != expected:
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"unpacking {func.value.id} ({structs[func.value.id]!r}, "
+                f"{expected} fields) into {got} names",
+            )

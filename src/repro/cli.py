@@ -13,6 +13,7 @@ library gets a CLI instead::
     repro-gis sort tile.las sorted.las --curve hilbert      # lassort
     repro-gis index tiles/                                  # lasindex
     repro-gis render tiles/ out.ppm                         # figure 1 style
+    repro-gis check [--format json]                         # invariant linter
 
 Every subcommand is a thin shell over the library; the functions return
 exit codes and print plain text, so they stay unit-testable.
@@ -286,6 +287,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 def _cmd_elevation(args: argparse.Namespace) -> int:
     from .core.rasterize import chm, dsm, dtm, hillshade
+    from .engine.durable import atomic_write_bytes
     from .gis.envelope import Box
     from .las.binloader import read_point_file
     from .viz.raster import Canvas
@@ -341,9 +343,8 @@ def _cmd_elevation(args: argparse.Namespace) -> int:
             (values[finite] - lo) / max(hi - lo, 1e-9) * 255
         ).astype(np.uint8)
         path = out_dir / f"{name}.pgm"
-        with open(path, "wb") as fh:
-            fh.write(f"P5\n{gray.shape[1]} {gray.shape[0]}\n255\n".encode())
-            fh.write(gray[::-1].tobytes())
+        pgm_header = f"P5\n{gray.shape[1]} {gray.shape[0]}\n255\n".encode()
+        atomic_write_bytes(path, pgm_header + gray[::-1].tobytes(), label="pgm")
         print(f"{name}: {path} ({gray.shape[1]}x{gray.shape[0]}, {lo:.1f}..{hi:.1f} m)")
 
     shade = hillshade(grids["dsm"])
@@ -352,6 +353,12 @@ def _cmd_elevation(args: argparse.Namespace) -> int:
     canvas.write_ppm(out_dir / "hillshade.ppm")
     print(f"hillshade: {out_dir / 'hillshade.ppm'}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.main import main as check_main
+
+    return check_main(args.check_args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -523,11 +530,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cell", type=float, default=5.0, help="cell size (m)")
     p.set_defaults(fn=_cmd_elevation)
 
+    p = sub.add_parser(
+        "check",
+        help="repro-check: AST-based invariant linter (durable writes, "
+        "crash transparency, lock discipline, struct formats, span "
+        "discipline, metric-name registry)",
+    )
+    # The linter owns its own grammar (shared with `python -m
+    # repro.analysis`); forward everything after `check` verbatim.
+    p.add_argument("check_args", nargs=argparse.REMAINDER)
+    p.set_defaults(fn=_cmd_check)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["check"]:
+        # Dispatch before argparse: REMAINDER mis-parses a remainder that
+        # starts with an option (`check --format json`, bpo-17050), so the
+        # linter gets the raw argv tail and applies its own grammar.
+        from .analysis.main import main as check_main
+
+        return check_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

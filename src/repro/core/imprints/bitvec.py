@@ -14,7 +14,10 @@ is 8 values, exactly MonetDB's granularity for doubles.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from .histogram import BinScheme
 
@@ -30,8 +33,8 @@ def values_per_cacheline(itemsize: int, cacheline_bytes: int = CACHELINE_BYTES) 
 
 
 def build_vectors(
-    values: np.ndarray, scheme: BinScheme, vpc: int
-) -> np.ndarray:
+    values: NDArray[Any], scheme: BinScheme, vpc: int
+) -> NDArray[Any]:
     """One uint64 imprint vector per cacheline of ``values``.
 
     The last (partial) cacheline is padded by repeating the final value,
@@ -52,12 +55,12 @@ def build_vectors(
     return np.bitwise_or.reduce(bits.reshape(n_lines, vpc), axis=1)
 
 
-def match_vectors(vectors: np.ndarray, mask: int) -> np.ndarray:
+def match_vectors(vectors: NDArray[Any], mask: int) -> NDArray[Any]:
     """Boolean array: which imprint vectors intersect the query bin mask."""
     return (vectors & np.uint64(mask)) != 0
 
 
-def popcount(vectors: np.ndarray) -> np.ndarray:
+def popcount(vectors: NDArray[Any]) -> NDArray[Any]:
     """Bits set per vector (imprint density diagnostics, E4 bench)."""
     v = vectors.astype(np.uint64).copy()
     counts = np.zeros(v.shape[0], dtype=np.int64)

@@ -21,8 +21,10 @@ covers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, List
 
 import numpy as np
+from numpy.typing import NDArray
 
 #: MonetDB packs the counter into 24 bits of a 32-bit dictionary entry.
 MAX_COUNTER = (1 << 24) - 1
@@ -45,9 +47,9 @@ class CachelineDict:
         Total cache lines represented.
     """
 
-    counters: np.ndarray
-    repeats: np.ndarray
-    vectors: np.ndarray
+    counters: NDArray[Any]
+    repeats: NDArray[Any]
+    vectors: NDArray[Any]
     n_lines: int
 
     @property
@@ -60,7 +62,7 @@ class CachelineDict:
         padded to a word as in MonetDB) plus 8 bytes per stored vector."""
         return 4 * self.n_entries + 8 * self.vectors.shape[0]
 
-    def coverage(self) -> np.ndarray:
+    def coverage(self) -> NDArray[Any]:
         """Cache lines covered by each *stored vector*, in vector order.
 
         Repeat entries contribute one vector covering ``counter`` lines;
@@ -78,7 +80,7 @@ class CachelineDict:
         return per_vector
 
 
-def compress(vectors: np.ndarray, max_counter: int = MAX_COUNTER) -> CachelineDict:
+def compress(vectors: NDArray[Any], max_counter: int = MAX_COUNTER) -> CachelineDict:
     """Build the cacheline dictionary from a raw per-cacheline sequence."""
     vectors = np.asarray(vectors, dtype=np.uint64)
     n = vectors.shape[0]
@@ -101,10 +103,10 @@ def compress(vectors: np.ndarray, max_counter: int = MAX_COUNTER) -> CachelineDi
     run_lengths = np.diff(np.append(run_starts, n))
     run_vectors = vectors[run_starts]
 
-    counters = []
-    repeats = []
-    stored = []
-    pending_singles = []  # consecutive runs of length 1 coalesce
+    counters: List[int] = []
+    repeats: List[bool] = []
+    stored: List[Any] = []
+    pending_singles: List[Any] = []  # consecutive runs of length 1 coalesce
 
     def flush_singles() -> None:
         while pending_singles:
@@ -141,7 +143,7 @@ def compress(vectors: np.ndarray, max_counter: int = MAX_COUNTER) -> CachelineDi
     )
 
 
-def decompress(cdict: CachelineDict) -> np.ndarray:
+def decompress(cdict: CachelineDict) -> NDArray[Any]:
     """Restore the exact per-cacheline imprint vector sequence."""
     if cdict.n_lines == 0:
         return np.empty(0, dtype=np.uint64)
@@ -151,4 +153,4 @@ def decompress(cdict: CachelineDict) -> np.ndarray:
 def compression_ratio(cdict: CachelineDict) -> float:
     """Uncompressed vector bytes / dictionary bytes (higher is better)."""
     raw = 8 * cdict.n_lines
-    return raw / cdict.nbytes if cdict.nbytes else float("inf")
+    return float(raw / cdict.nbytes) if cdict.nbytes else float("inf")

@@ -12,9 +12,10 @@ distinct value can own a bin.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 #: Hard cap from the paper: one bit per bin in a 64-bit imprint vector.
 MAX_BINS = 64
@@ -40,7 +41,7 @@ class BinScheme:
         Number of bins, a power of two between 1 and 64.
     """
 
-    borders: np.ndarray
+    borders: NDArray[Any]
     n_bins: int = field(default=0)
 
     def __post_init__(self) -> None:
@@ -51,11 +52,11 @@ class BinScheme:
         """Bytes occupied by the border array (counted as index overhead)."""
         return self.borders.nbytes
 
-    def bin_of(self, values: np.ndarray) -> np.ndarray:
+    def bin_of(self, values: NDArray[Any]) -> NDArray[Any]:
         """Bin id for each value (vectorised)."""
         return np.searchsorted(self.borders, np.asarray(values), side="right")
 
-    def range_mask(self, lo, hi) -> int:
+    def range_mask(self, lo: Optional[Any], hi: Optional[Any]) -> int:
         """64-bit mask with a 1 for every bin that may hold values in [lo, hi].
 
         ``None`` bounds mean unbounded.  This is the query-side mask that is
@@ -88,7 +89,7 @@ def _pow2_at_most(n: int, cap: int = MAX_BINS) -> int:
 
 
 def build_bins(
-    values: np.ndarray,
+    values: NDArray[Any],
     max_bins: int = MAX_BINS,
     sample_size: int = DEFAULT_SAMPLE,
     rng: Optional[np.random.Generator] = None,

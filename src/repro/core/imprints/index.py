@@ -16,9 +16,10 @@ memory traffic".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, List, Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ...engine.column import Column
 from . import bitvec, dictionary
@@ -41,7 +42,9 @@ class ImprintStats:
     def overhead(self) -> float:
         """Index bytes as a fraction of the indexed column bytes — the
         quantity the paper reports as "5-12% storage overhead"."""
-        return self.index_bytes / self.column_bytes if self.column_bytes else 0.0
+        return (
+            self.index_bytes / self.column_bytes if self.column_bytes else 0.0
+        )
 
     @property
     def dict_compression(self) -> float:
@@ -126,7 +129,7 @@ class ColumnImprints:
 
     # -- query ---------------------------------------------------------------
 
-    def candidate_lines(self, lo, hi) -> np.ndarray:
+    def candidate_lines(self, lo: Optional[Any], hi: Optional[Any]) -> NDArray[Any]:
         """Boolean per cacheline: may the line hold values in [lo, hi]?
 
         This is the pure index probe (no data access): one AND per stored
@@ -141,7 +144,7 @@ class ColumnImprints:
             return vec_match
         return np.repeat(vec_match, self._coverage)
 
-    def candidate_rows(self, lo, hi) -> np.ndarray:
+    def candidate_rows(self, lo: Optional[Any], hi: Optional[Any]) -> NDArray[Any]:
         """Candidate oids (superset of the exact result), sorted."""
         lines = np.flatnonzero(self.candidate_lines(lo, hi))
         if lines.shape[0] == 0:
@@ -153,11 +156,11 @@ class ColumnImprints:
 
     def query(
         self,
-        lo,
-        hi,
+        lo: Optional[Any],
+        hi: Optional[Any],
         lo_inclusive: bool = True,
         hi_inclusive: bool = True,
-    ) -> np.ndarray:
+    ) -> NDArray[Any]:
         """Exact range select via the imprint: probe, then verify candidates.
 
         Returns a sorted oid array identical to
@@ -169,7 +172,7 @@ class ColumnImprints:
         values = np.asarray(self.column.values)
         vpc = self.vpc
 
-        def check(vals: np.ndarray) -> np.ndarray:
+        def check(vals: NDArray[Any]) -> NDArray[Any]:
             mask = np.ones(vals.shape, dtype=bool)
             if lo is not None:
                 mask &= (vals >= lo) if lo_inclusive else (vals > lo)
@@ -181,7 +184,7 @@ class ColumnImprints:
         # (possibly partial) final line is handled separately.
         n_full = self.n_rows // vpc
         full_lines = lines[lines < n_full]
-        pieces = []
+        pieces: List[NDArray[Any]] = []
         if full_lines.shape[0]:
             blocks = values[: n_full * vpc].reshape(n_full, vpc)[full_lines]
             hit = check(blocks)
@@ -196,15 +199,15 @@ class ColumnImprints:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
 
-    def false_positive_rate(self, lo, hi) -> float:
+    def false_positive_rate(self, lo: Optional[Any], hi: Optional[Any]) -> float:
         """Fraction of candidate rows the exact check discards (E4 metric)."""
         rows = self.candidate_rows(lo, hi)
         if rows.shape[0] == 0:
             return 0.0
         exact = self.query(lo, hi)
-        return 1.0 - exact.shape[0] / rows.shape[0]
+        return float(1.0 - exact.shape[0] / rows.shape[0])
 
-    def scanned_fraction(self, lo, hi) -> float:
+    def scanned_fraction(self, lo: Optional[Any], hi: Optional[Any]) -> float:
         """Fraction of cache lines a query must touch (E4 metric)."""
         if self.n_lines == 0:
             return 0.0

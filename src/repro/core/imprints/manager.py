@@ -18,13 +18,16 @@ actually did, which is what the append-cost benches watch.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Optional
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ...engine.table import Table
 from ...obs.metrics import get_registry
+from ...obs.timing import now
 from ...obs.trace import maybe_span
 from . import index as index_mod
 from .segments import DEFAULT_SEGMENT_ROWS, SegmentedImprints
@@ -49,22 +52,26 @@ class ImprintsManager:
         self,
         threads: Optional[int] = None,
         segment_rows: int = DEFAULT_SEGMENT_ROWS,
-        **build_kwargs,
+        **build_kwargs: Any,
     ) -> None:
         self.threads = threads
         self.segment_rows = segment_rows
         self._build_kwargs = build_kwargs
-        self._imprints: Dict[tuple, SegmentedImprints] = {}
+        # Guards the imprint dict and build bookkeeping: two threads
+        # racing range_select() on a cold column must not both build
+        # (and double-count) the same index.
+        self._lock = threading.Lock()
+        self._imprints: Dict[Tuple[str, str], SegmentedImprints] = {}
         self.builds = 0  # column-level index (re)build events
         self.segment_builds = 0  # per-segment builds those events performed
         #: Paths of imprint files quarantined during :meth:`load`.
-        self.quarantined: list = []
+        self.quarantined: List[str] = []
         #: Seconds the most recent :meth:`ensure` spent building (0.0
         #: when the index was already current) — queries fold this into
         #: ``QueryStats.imprint_build_seconds``.
         self.last_build_seconds = 0.0
 
-    def _key(self, table: Table, column_name: str) -> tuple:
+    def _key(self, table: Table, column_name: str) -> Tuple[str, str]:
         return (table.name, column_name)
 
     def get(self, table: Table, column_name: str) -> Optional[SegmentedImprints]:
@@ -74,42 +81,49 @@ class ImprintsManager:
     def ensure(
         self, table: Table, column_name: str, threads: Optional[int] = None
     ) -> SegmentedImprints:
-        """Return a fresh imprint, building or extending as needed."""
+        """Return a fresh imprint, building or extending as needed.
+
+        Serialised under the manager lock so concurrent first queries on
+        a cold column build its index exactly once; the build itself may
+        still fan out across the worker pool (those workers never take
+        this lock).
+        """
         threads = threads if threads is not None else self.threads
         key = self._key(table, column_name)
-        imp = self._imprints.get(key)
-        self.last_build_seconds = 0.0
-        if imp is None:
-            with maybe_span(
-                "imprints.build", table=table.name, column=column_name
-            ) as span:
-                t0 = time.perf_counter()
-                imp = SegmentedImprints(
-                    table.column(column_name),
-                    segment_rows=self.segment_rows,
-                    threads=threads,
-                    **self._build_kwargs,
-                )
-                self.last_build_seconds = time.perf_counter() - t0
-                span.set(segments_built=imp.n_segments)
-            self._imprints[key] = imp
-            self.builds += 1
-            self.segment_builds += imp.n_segments
-            self._record_build(imp.n_segments)
-        elif imp.stale:
-            # Incremental: only new (and one trailing partial) segments
-            # are indexed — appends no longer pay O(n).
-            with maybe_span(
-                "imprints.extend", table=table.name, column=column_name
-            ) as span:
-                t0 = time.perf_counter()
-                built = imp.extend(threads=threads)
-                self.last_build_seconds = time.perf_counter() - t0
-                span.set(segments_built=built)
-            self.segment_builds += built
-            self.builds += 1
-            self._record_build(built)
-        return imp
+        with self._lock:
+            imp = self._imprints.get(key)
+            self.last_build_seconds = 0.0
+            if imp is None:
+                with maybe_span(
+                    "imprints.build", table=table.name, column=column_name
+                ) as span:
+                    t0 = now()
+                    imp = SegmentedImprints(
+                        table.column(column_name),
+                        segment_rows=self.segment_rows,
+                        threads=threads,
+                        **self._build_kwargs,
+                    )
+                    self.last_build_seconds = now() - t0
+                    span.set(segments_built=imp.n_segments)
+                self._imprints[key] = imp
+                self.builds += 1
+                self.segment_builds += imp.n_segments
+                self._record_build(imp.n_segments)
+            elif imp.stale:
+                # Incremental: only new (and one trailing partial) segments
+                # are indexed — appends no longer pay O(n).
+                with maybe_span(
+                    "imprints.extend", table=table.name, column=column_name
+                ) as span:
+                    t0 = now()
+                    built = imp.extend(threads=threads)
+                    self.last_build_seconds = now() - t0
+                    span.set(segments_built=built)
+                self.segment_builds += built
+                self.builds += 1
+                self._record_build(built)
+            return imp
 
     def _record_build(self, segments_built: int) -> None:
         registry = get_registry()
@@ -121,23 +135,24 @@ class ImprintsManager:
 
     def invalidate(self, table: Table, column_name: Optional[str] = None) -> None:
         """Drop imprints for one column or a whole table."""
-        if column_name is not None:
-            self._imprints.pop(self._key(table, column_name), None)
-            return
-        for key in [k for k in self._imprints if k[0] == table.name]:
-            del self._imprints[key]
+        with self._lock:
+            if column_name is not None:
+                self._imprints.pop(self._key(table, column_name), None)
+                return
+            for key in [k for k in self._imprints if k[0] == table.name]:
+                del self._imprints[key]
 
     def range_select(
         self,
         table: Table,
         column_name: str,
-        lo,
-        hi,
+        lo: Optional[Any],
+        hi: Optional[Any],
         lo_inclusive: bool = True,
         hi_inclusive: bool = True,
         threads: Optional[int] = None,
-        stats=None,
-    ) -> np.ndarray:
+        stats: Optional[Any] = None,
+    ) -> NDArray[Any]:
         """Exact range select, building the imprint on first use.
 
         ``stats`` (any object with ``n_segments_skipped`` /
@@ -168,13 +183,13 @@ class ImprintsManager:
         """Total bytes across all live imprints."""
         return sum(imp.nbytes for imp in self._imprints.values())
 
-    def stats(self) -> Dict[tuple, index_mod.ImprintStats]:
+    def stats(self) -> Dict[Tuple[str, str], index_mod.ImprintStats]:
         """Per-(table, column) imprint statistics."""
         return {key: imp.stats() for key, imp in self._imprints.items()}
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, directory) -> int:
+    def save(self, directory: Union[str, Path]) -> int:
         """Persist every built imprint as one ``.imprint`` file per column.
 
         Returns total bytes written.  MonetDB keeps imprints next to the
@@ -182,8 +197,6 @@ class ImprintsManager:
         The ``(table, column)`` key is stored in each file's header — the
         file name is only a human-friendly hint.
         """
-        from pathlib import Path
-
         from .persist import save_segmented
 
         root = Path(directory)
@@ -200,7 +213,7 @@ class ImprintsManager:
             total += save_segmented(imprint, table_name, column_name, path)
         return total
 
-    def load(self, tables: Dict[str, Table], directory) -> int:
+    def load(self, tables: Dict[str, Table], directory: Union[str, Path]) -> int:
         """Restore imprints for the given tables; returns how many loaded.
 
         The key comes from each file's header (never from the file name,
@@ -214,7 +227,6 @@ class ImprintsManager:
         tables/columns this database does not know are skipped silently.
         """
         import warnings
-        from pathlib import Path
 
         from ...engine.durable import quarantine_file
         from .persist import (
@@ -239,7 +251,8 @@ class ImprintsManager:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            self.quarantined.append(str(where))
+            with self._lock:
+                self.quarantined.append(str(where))
 
         for path in sorted(root.glob("*.imprint")):
             if not looks_like_segmented(path):
@@ -257,20 +270,19 @@ class ImprintsManager:
             except ImprintPersistError as exc:
                 _quarantine(path, exc)
                 continue
-            self._imprints[(table_name, column_name)] = imprint
+            with self._lock:
+                self._imprints[(table_name, column_name)] = imprint
             loaded += 1
         return loaded
 
     @staticmethod
-    def verify_directory(directory) -> list:
+    def verify_directory(directory: Union[str, Path]) -> List[str]:
         """Issues with the imprint files under ``directory`` (no load).
 
         Structural/checksum verification only — used by
         ``Database``-level health reports; an empty list means every
         segmented imprint file parses and checksums cleanly.
         """
-        from pathlib import Path
-
         from .persist import (
             ImprintPersistError,
             looks_like_segmented,
@@ -278,7 +290,7 @@ class ImprintsManager:
         )
 
         root = Path(directory)
-        issues = []
+        issues: List[str] = []
         if not root.is_dir():
             return issues
         for path in sorted(root.glob("*.imprint")):

@@ -47,15 +47,19 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ...engine import durable
 from ...engine.column import Column
 from .dictionary import CachelineDict
 from .histogram import BinScheme
 from .index import ColumnImprints
+
+if TYPE_CHECKING:
+    from .segments import SegmentedImprints
 
 PathLike = Union[str, Path]
 
@@ -76,7 +80,7 @@ class ImprintPersistError(IOError):
     """Raised on corrupt or mismatched imprint files."""
 
 
-def _frame(arr: np.ndarray) -> bytes:
+def _frame(arr: NDArray[Any]) -> bytes:
     raw = np.ascontiguousarray(arr).tobytes()
     tag = arr.dtype.str.encode()
     return (
@@ -87,7 +91,7 @@ def _frame(arr: np.ndarray) -> bytes:
     )
 
 
-def _unframe(raw: bytes, pos: int):
+def _unframe(raw: bytes, pos: int) -> Tuple[NDArray[Any], int]:
     tag_len = int.from_bytes(raw[pos : pos + 2], "little")
     tag = raw[pos + 2 : pos + 2 + tag_len]
     if len(tag) != tag_len:
@@ -180,7 +184,7 @@ def _frame_str(text: str) -> bytes:
     return len(raw).to_bytes(2, "little") + raw
 
 
-def _unframe_str(raw: bytes, pos: int):
+def _unframe_str(raw: bytes, pos: int) -> Tuple[str, int]:
     n = int.from_bytes(raw[pos : pos + 2], "little")
     pos += 2
     data = raw[pos : pos + n]
@@ -227,7 +231,9 @@ def _seg_crc_ok(raw: bytes, offset: int, crc: Optional[int]) -> bool:
     return durable.checksum(base + raw[offset:]) == crc
 
 
-def save_segmented(imprint, table_name: str, column_name: str, path: PathLike) -> int:
+def save_segmented(
+    imprint: "SegmentedImprints", table_name: str, column_name: str, path: PathLike
+) -> int:
     """Persist a :class:`SegmentedImprints`; returns bytes written.
 
     The ``(table, column)`` key travels in the header so a loader never
@@ -303,7 +309,7 @@ def looks_like_segmented(path: PathLike) -> bool:
         return False
 
 
-def read_segmented_key(path: PathLike):
+def read_segmented_key(path: PathLike) -> Tuple[str, str]:
     """The ``(table_name, column_name)`` key of a v2 imprint file.
 
     Raises :class:`ImprintPersistError` for v1 or foreign files.
@@ -320,7 +326,7 @@ def read_segmented_key(path: PathLike):
     return table_name, column_name
 
 
-def load_segmented(column: Column, path: PathLike):
+def load_segmented(column: Column, path: PathLike) -> "SegmentedImprints":
     """Restore a :class:`SegmentedImprints` over its column.
 
     Same staleness contract as :func:`load_imprint`: a grown column loads
@@ -348,7 +354,7 @@ def load_segmented(column: Column, path: PathLike):
         )
     _table_name, pos = _unframe_str(raw, pos)
     _column_name, pos = _unframe_str(raw, pos)
-    segments = []
+    segments: List[SegmentImprint] = []
     covered = 0
     for _ in range(n_segments):
         if len(raw) < pos + _SPAN.size:

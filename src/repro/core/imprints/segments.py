@@ -24,9 +24,10 @@ Segments are the unit of everything the engine wants to scale:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ...engine.column import Column
 from ...engine.parallel import run_tasks
@@ -61,7 +62,7 @@ class SegmentImprint:
     zmax: object
     scheme: BinScheme
     cdict: dictionary.CachelineDict
-    coverage: np.ndarray
+    coverage: NDArray[Any]
 
     @property
     def n_rows(self) -> int:
@@ -78,7 +79,7 @@ class SegmentImprint:
 
 
 def build_segment(
-    values: np.ndarray,
+    values: NDArray[Any],
     start: int,
     stop: int,
     vpc: int,
@@ -257,7 +258,14 @@ class SegmentedImprints:
 
     # -- query -----------------------------------------------------------------
 
-    def _classify(self, seg: SegmentImprint, lo, hi, lo_inc: bool, hi_inc: bool) -> int:
+    def _classify(
+        self,
+        seg: SegmentImprint,
+        lo: Optional[Any],
+        hi: Optional[Any],
+        lo_inc: bool,
+        hi_inc: bool,
+    ) -> int:
         """Zone-map verdict for one segment (skip / accept whole / probe).
 
         NaN zone maps compare false everywhere and land on PROBE, so NaN
@@ -273,7 +281,7 @@ class SegmentedImprints:
             return _FULL
         return _PROBE
 
-    def _candidate_lines(self, seg: SegmentImprint, lo, hi) -> np.ndarray:
+    def _candidate_lines(self, seg: SegmentImprint, lo: Optional[Any], hi: Optional[Any]) -> NDArray[Any]:
         """Local candidate-line indices for one probed segment."""
         mask = seg.scheme.range_mask(lo, hi)
         if mask == 0:
@@ -284,8 +292,14 @@ class SegmentedImprints:
         return np.flatnonzero(vec_match)
 
     def _probe(
-        self, values: np.ndarray, seg: SegmentImprint, lo, hi, lo_inc: bool, hi_inc: bool
-    ) -> np.ndarray:
+        self,
+        values: NDArray[Any],
+        seg: SegmentImprint,
+        lo: Optional[Any],
+        hi: Optional[Any],
+        lo_inc: bool,
+        hi_inc: bool,
+    ) -> NDArray[Any]:
         """Exact oids for one probed segment: imprint probe + verification."""
         lines = self._candidate_lines(seg, lo, hi)
         if lines.shape[0] == 0:
@@ -294,7 +308,7 @@ class SegmentedImprints:
         vpc = self.vpc
         n_seg = seg.n_rows
 
-        def check(vals: np.ndarray) -> np.ndarray:
+        def check(vals: NDArray[Any]) -> NDArray[Any]:
             mask = np.ones(vals.shape, dtype=bool)
             if lo is not None:
                 mask &= (vals >= lo) if lo_inc else (vals > lo)
@@ -304,7 +318,7 @@ class SegmentedImprints:
 
         n_full = n_seg // vpc
         full_lines = lines[lines < n_full]
-        pieces = []
+        pieces: List[NDArray[Any]] = []
         if full_lines.shape[0]:
             blocks = part[: n_full * vpc].reshape(n_full, vpc)[full_lines]
             hit = check(blocks)
@@ -320,13 +334,13 @@ class SegmentedImprints:
 
     def query(
         self,
-        lo,
-        hi,
+        lo: Optional[Any],
+        hi: Optional[Any],
         lo_inclusive: bool = True,
         hi_inclusive: bool = True,
         threads: Optional[int] = None,
-        stats=None,
-    ) -> np.ndarray:
+        stats: Optional[Any] = None,
+    ) -> NDArray[Any]:
         """Exact range select over the indexed prefix, sorted oids.
 
         Zone maps first: disjoint segments are skipped and fully-covered
@@ -354,7 +368,7 @@ class SegmentedImprints:
             threads=threads,
         )
         probed_iter = iter(probed)
-        pieces = []
+        pieces: List[NDArray[Any]] = []
         for seg, verdict in zip(self.segments, verdicts):
             if verdict == _FULL:
                 pieces.append(np.arange(seg.start, seg.stop, dtype=np.int64))
@@ -368,9 +382,9 @@ class SegmentedImprints:
 
     # -- diagnostics -----------------------------------------------------------
 
-    def candidate_rows(self, lo, hi) -> np.ndarray:
+    def candidate_rows(self, lo: Optional[Any], hi: Optional[Any]) -> NDArray[Any]:
         """Candidate oids (superset of the exact result), sorted."""
-        pieces = []
+        pieces: List[NDArray[Any]] = []
         for seg in self.segments:
             verdict = self._classify(seg, lo, hi, True, True)
             if verdict == _SKIP:
@@ -389,7 +403,7 @@ class SegmentedImprints:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
 
-    def scanned_fraction(self, lo, hi) -> float:
+    def scanned_fraction(self, lo: Optional[Any], hi: Optional[Any]) -> float:
         """Fraction of cache lines whose *data* the query must touch.
 
         Zone-map skips and wholesale accepts both cost zero data access,
@@ -402,12 +416,12 @@ class SegmentedImprints:
         for seg in self.segments:
             if self._classify(seg, lo, hi, True, True) == _PROBE:
                 touched += int(self._candidate_lines(seg, lo, hi).shape[0])
-        return touched / total
+        return float(touched / total)
 
-    def false_positive_rate(self, lo, hi) -> float:
+    def false_positive_rate(self, lo: Optional[Any], hi: Optional[Any]) -> float:
         """Fraction of candidate rows the exact check discards."""
         rows = self.candidate_rows(lo, hi)
         if rows.shape[0] == 0:
             return 0.0
         exact = self.query(lo, hi)
-        return 1.0 - exact.shape[0] / rows.shape[0]
+        return float(1.0 - exact.shape[0] / rows.shape[0])

@@ -17,7 +17,6 @@ the ablation benches (pure scan, no grid, ...).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -29,6 +28,7 @@ from ..engine.table import Table
 from ..gis.envelope import Box
 from ..gis.predicates import geometry_envelope, points_satisfy
 from ..obs.metrics import get_registry
+from ..obs.timing import now
 from ..obs.trace import maybe_span
 from .grid import DEFAULT_TARGET_CELLS
 from .imprints.manager import ImprintsManager
@@ -222,7 +222,7 @@ class SpatialSelect:
             )
             # The filter window opens before envelope derivation so that
             # geometry parsing counts toward the reported wall time.
-            t0 = time.perf_counter()
+            t0 = now()
             env = geometry_envelope(geometry)
             if predicate == "dwithin":
                 env = env.expand(distance)
@@ -258,7 +258,7 @@ class SpatialSelect:
                     segments_skipped=stats.n_segments_skipped,
                     segments_probed=stats.n_segments_probed,
                 )
-            t1 = time.perf_counter()
+            t1 = now()
 
             # Lazy builds were timed by the manager; report the filter
             # phase net of them so the phases sum to the wall clock.
@@ -301,7 +301,7 @@ class SpatialSelect:
                     boundary_cells=refine_stats.boundary_cells,
                     points_tested_exact=refine_stats.points_tested_exact,
                 )
-            t2 = time.perf_counter()
+            t2 = now()
 
             stats.refine_seconds = t2 - t1
             stats.refine_stats = refine_stats

@@ -9,29 +9,30 @@ group-by kernels.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .column import Column
 
 
-def _materialise(column: Column, candidates: Optional[np.ndarray]) -> np.ndarray:
+def _materialise(column: Column, candidates: Optional[NDArray[Any]]) -> NDArray[Any]:
     return column.values if candidates is None else column.take(candidates)
 
 
-def count(column: Column, candidates: Optional[np.ndarray] = None) -> int:
+def count(column: Column, candidates: Optional[NDArray[Any]] = None) -> int:
     """Number of qualifying rows."""
     return len(column) if candidates is None else int(len(candidates))
 
 
-def sum_(column: Column, candidates: Optional[np.ndarray] = None):
+def sum_(column: Column, candidates: Optional[NDArray[Any]] = None) -> Any:
     """Sum over qualifying rows (0 on empty input, SQL-style for SUM of none
     is NULL; the engine returns 0 and the SQL layer maps empty to None)."""
     return _materialise(column, candidates).sum()
 
 
-def avg(column: Column, candidates: Optional[np.ndarray] = None) -> float:
+def avg(column: Column, candidates: Optional[NDArray[Any]] = None) -> float:
     """Arithmetic mean over qualifying rows; NaN on empty input."""
     vals = _materialise(column, candidates)
     if vals.shape[0] == 0:
@@ -39,14 +40,14 @@ def avg(column: Column, candidates: Optional[np.ndarray] = None) -> float:
     return float(vals.mean())
 
 
-def min_(column: Column, candidates: Optional[np.ndarray] = None):
+def min_(column: Column, candidates: Optional[NDArray[Any]] = None) -> Any:
     vals = _materialise(column, candidates)
     if vals.shape[0] == 0:
         raise ValueError("min of empty input")
     return vals.min()
 
 
-def max_(column: Column, candidates: Optional[np.ndarray] = None):
+def max_(column: Column, candidates: Optional[NDArray[Any]] = None) -> Any:
     vals = _materialise(column, candidates)
     if vals.shape[0] == 0:
         raise ValueError("max of empty input")
@@ -54,7 +55,7 @@ def max_(column: Column, candidates: Optional[np.ndarray] = None):
 
 
 #: Aggregate kernels over a 1-D value array, used by :func:`group_aggregate`.
-_GROUP_KERNELS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+_GROUP_KERNELS: Dict[str, Callable[[NDArray[Any], NDArray[Any]], NDArray[Any]]] = {
     "sum": lambda v, starts: np.add.reduceat(v, starts),
     "min": lambda v, starts: np.minimum.reduceat(v, starts),
     "max": lambda v, starts: np.maximum.reduceat(v, starts),
@@ -62,10 +63,10 @@ _GROUP_KERNELS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
 
 
 def group_aggregate(
-    group_values: np.ndarray,
-    agg_values: Optional[np.ndarray],
+    group_values: NDArray[Any],
+    agg_values: Optional[NDArray[Any]],
     func: str,
-) -> Dict[str, np.ndarray]:
+) -> Dict[str, NDArray[Any]]:
     """Grouped aggregate: one output row per distinct group value.
 
     Parameters

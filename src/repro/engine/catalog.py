@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from . import durable, storage
 from .table import Schema, Table
@@ -55,7 +55,7 @@ class Database:
         self._tables: Dict[str, Table] = {}
         #: Per-table load/recovery health, populated by :meth:`load`:
         #: ``{name: {"ok": bool, "issues": [str, ...]}}``.
-        self.health: Dict[str, Dict] = {}
+        self.health: Dict[str, Dict[str, Any]] = {}
 
     # -- table lifecycle ----------------------------------------------------
 
@@ -176,7 +176,7 @@ class Database:
             db.health[name] = {"ok": True, "issues": issues or [first_error]}
         return db
 
-    def verify(self, directory: Optional[PathLike] = None) -> Dict:
+    def verify(self, directory: Optional[PathLike] = None) -> Dict[str, Any]:
         """Check every on-disk artifact; returns a health report.
 
         ``{"ok": bool, "tables": {name: {"ok": bool, "issues": [...]}}}``
@@ -187,7 +187,7 @@ class Database:
         root = Path(directory) if directory is not None else self.directory
         if root is None:
             raise ValueError("no persistence directory configured")
-        report: Dict = {"ok": True, "tables": {}}
+        report: Dict[str, Any] = {"ok": True, "tables": {}}
         if not root.is_dir():
             return {"ok": False, "tables": {}, "error": f"no database at {root}"}
         try:
@@ -219,6 +219,7 @@ class Database:
         """
         db = cls.load(directory)
         root = db.directory
+        assert root is not None  # load() always sets it
         for name in db.table_names:
             storage.save_table(db.table(name), root / name)
         # Unreadable tables stay listed so they keep surfacing in health

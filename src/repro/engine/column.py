@@ -10,13 +10,14 @@ described in Section 3.2 of the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 #: Logical type names accepted by the engine, mapped to numpy dtypes.  These
 #: are the types needed by the 26-attribute LAS flat table plus bookkeeping.
-TYPE_MAP = {
+TYPE_MAP: Dict[str, np.dtype[Any]] = {
     "bool": np.dtype(np.bool_),
     "int8": np.dtype(np.int8),
     "uint8": np.dtype(np.uint8),
@@ -40,7 +41,7 @@ class ColumnTypeError(TypeError):
     """Raised when a value batch cannot be stored in the column's type."""
 
 
-def resolve_type(type_name: Union[str, np.dtype]) -> np.dtype:
+def resolve_type(type_name: Union[str, np.dtype[Any]]) -> np.dtype[Any]:
     """Return the numpy dtype for a logical type name.
 
     Accepts either an engine type name (``"float64"``) or a numpy dtype that
@@ -74,21 +75,21 @@ class Column:
     def __init__(
         self,
         name: str,
-        type_name: Union[str, np.dtype],
-        data: Optional[Iterable] = None,
+        type_name: Union[str, np.dtype[Any]],
+        data: Optional[ArrayLike] = None,
     ) -> None:
         self.name = name
         self.dtype = resolve_type(type_name)
-        self._buf = np.empty(_INITIAL_CAPACITY, dtype=self.dtype)
+        self._buf: NDArray[Any] = np.empty(_INITIAL_CAPACITY, dtype=self.dtype)
         self._len = 0
-        self._minmax_cache = None
+        self._minmax_cache: Optional[Tuple[Any, Any]] = None
         if data is not None:
             self.append(data)
 
     # -- construction -----------------------------------------------------
 
     @classmethod
-    def from_array(cls, name: str, array: np.ndarray) -> "Column":
+    def from_array(cls, name: str, array: NDArray[Any]) -> "Column":
         """Wrap an existing numpy array (copied) as a column."""
         array = np.asarray(array)
         col = cls(name, array.dtype)
@@ -109,7 +110,7 @@ class Column:
         return _DTYPE_TO_NAME[self.dtype]
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> NDArray[Any]:
         """A read-only view of the column's values (no copy)."""
         view = self._buf[: self._len]
         view.flags.writeable = False
@@ -132,7 +133,7 @@ class Column:
         buf[: self._len] = self._buf[: self._len]
         self._buf = buf
 
-    def append(self, values: Iterable) -> int:
+    def append(self, values: ArrayLike) -> int:
         """Append a batch of values; returns the oid of the first new row.
 
         Values are converted with ``numpy.asarray`` and must be safely
@@ -184,11 +185,11 @@ class Column:
 
     # -- access ------------------------------------------------------------
 
-    def take(self, oids: np.ndarray) -> np.ndarray:
+    def take(self, oids: NDArray[Any]) -> NDArray[Any]:
         """Fetch values at the given row ids (late materialisation)."""
         return self._buf[: self._len][oids]
 
-    def minmax(self) -> tuple:
+    def minmax(self) -> Tuple[Any, Any]:
         """(min, max) over the column; raises ValueError when empty.
 
         Cached until the next append (MonetDB keeps the same per-column

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 class CompressionError(ValueError):
@@ -50,9 +51,9 @@ class CompressedBlock:
         return len(self.payload)
 
 
-def _pack_arrays(*arrays: np.ndarray) -> bytes:
+def _pack_arrays(*arrays: NDArray[Any]) -> bytes:
     """Concatenate arrays into a payload with a tiny length-prefixed framing."""
-    parts = []
+    parts: List[bytes] = []
     for arr in arrays:
         raw = np.ascontiguousarray(arr).tobytes()
         dtype_tag = arr.dtype.str.encode()
@@ -63,8 +64,8 @@ def _pack_arrays(*arrays: np.ndarray) -> bytes:
     return b"".join(parts)
 
 
-def _unpack_arrays(payload: bytes, n: int) -> Tuple[np.ndarray, ...]:
-    arrays = []
+def _unpack_arrays(payload: bytes, n: int) -> Tuple[NDArray[Any], ...]:
+    arrays: List[NDArray[Any]] = []
     pos = 0
     for _ in range(n):
         if pos + 2 > len(payload):
@@ -86,7 +87,7 @@ def _unpack_arrays(payload: bytes, n: int) -> Tuple[np.ndarray, ...]:
 # -- run-length encoding ------------------------------------------------------
 
 
-def rle_encode(values: np.ndarray) -> CompressedBlock:
+def rle_encode(values: NDArray[Any]) -> CompressedBlock:
     """Run-length encode; ideal for sorted/low-cardinality columns
     (classification codes, flags) as the paper notes for flat tables."""
     values = np.asarray(values)
@@ -102,7 +103,7 @@ def rle_encode(values: np.ndarray) -> CompressedBlock:
     return CompressedBlock("rle", values.dtype.str, values.shape[0], payload)
 
 
-def rle_decode(block: CompressedBlock) -> np.ndarray:
+def rle_decode(block: CompressedBlock) -> NDArray[Any]:
     if block.scheme != "rle":
         raise CompressionError(f"not an rle block: {block.scheme}")
     if block.count == 0:
@@ -117,12 +118,12 @@ def rle_decode(block: CompressedBlock) -> np.ndarray:
 # -- dictionary encoding -------------------------------------------------------
 
 
-def dict_encode(values: np.ndarray) -> CompressedBlock:
+def dict_encode(values: NDArray[Any]) -> CompressedBlock:
     """Dictionary encode: distinct values + per-row code of minimal width."""
     values = np.asarray(values)
     uniques, codes = np.unique(values, return_inverse=True)
     if uniques.shape[0] <= 1 << 8:
-        code_dtype = np.uint8
+        code_dtype: Any = np.uint8
     elif uniques.shape[0] <= 1 << 16:
         code_dtype = np.uint16
     else:
@@ -131,7 +132,7 @@ def dict_encode(values: np.ndarray) -> CompressedBlock:
     return CompressedBlock("dict", values.dtype.str, values.shape[0], payload)
 
 
-def dict_decode(block: CompressedBlock) -> np.ndarray:
+def dict_decode(block: CompressedBlock) -> NDArray[Any]:
     if block.scheme != "dict":
         raise CompressionError(f"not a dict block: {block.scheme}")
     if block.count == 0:
@@ -143,7 +144,7 @@ def dict_decode(block: CompressedBlock) -> np.ndarray:
 # -- frame of reference --------------------------------------------------------
 
 
-def for_encode(values: np.ndarray) -> CompressedBlock:
+def for_encode(values: NDArray[Any]) -> CompressedBlock:
     """Frame-of-reference for integer columns: offsets from the minimum,
     stored at minimal width.  Great for LAS scaled-int coordinates."""
     values = np.asarray(values)
@@ -155,7 +156,7 @@ def for_encode(values: np.ndarray) -> CompressedBlock:
     offsets = values.astype(np.int64) - reference
     span = int(offsets.max())
     if span <= 0xFF:
-        off_dtype = np.uint8
+        off_dtype: Any = np.uint8
     elif span <= 0xFFFF:
         off_dtype = np.uint16
     elif span <= 0xFFFFFFFF:
@@ -168,7 +169,7 @@ def for_encode(values: np.ndarray) -> CompressedBlock:
     return CompressedBlock("for", values.dtype.str, values.shape[0], payload)
 
 
-def for_decode(block: CompressedBlock) -> np.ndarray:
+def for_decode(block: CompressedBlock) -> NDArray[Any]:
     if block.scheme != "for":
         raise CompressionError(f"not a for block: {block.scheme}")
     dtype = np.dtype(block.dtype)
@@ -181,7 +182,7 @@ def for_decode(block: CompressedBlock) -> np.ndarray:
 # -- delta + zlib --------------------------------------------------------------
 
 
-def delta_zlib_encode(values: np.ndarray, level: int = 6) -> CompressedBlock:
+def delta_zlib_encode(values: NDArray[Any], level: int = 6) -> CompressedBlock:
     """Delta-encode then deflate.
 
     This is the repo's stand-in for pointcloud/LAZ-style dimensional
@@ -209,7 +210,7 @@ def delta_zlib_encode(values: np.ndarray, level: int = 6) -> CompressedBlock:
     return CompressedBlock("delta_zlib", values.dtype.str, values.shape[0], payload)
 
 
-def delta_zlib_decode(block: CompressedBlock) -> np.ndarray:
+def delta_zlib_decode(block: CompressedBlock) -> NDArray[Any]:
     if block.scheme != "delta_zlib":
         raise CompressionError(f"not a delta_zlib block: {block.scheme}")
     dtype = np.dtype(block.dtype)
@@ -230,7 +231,9 @@ def delta_zlib_decode(block: CompressedBlock) -> np.ndarray:
 
 
 #: scheme name -> (encode, decode)
-SCHEMES: Dict[str, Tuple[Callable, Callable]] = {
+SCHEMES: Dict[
+    str, Tuple[Callable[..., CompressedBlock], Callable[[CompressedBlock], NDArray[Any]]]
+] = {
     "rle": (rle_encode, rle_decode),
     "dict": (dict_encode, dict_decode),
     "for": (for_encode, for_decode),
@@ -238,7 +241,7 @@ SCHEMES: Dict[str, Tuple[Callable, Callable]] = {
 }
 
 
-def encode(scheme: str, values: np.ndarray) -> CompressedBlock:
+def encode(scheme: str, values: NDArray[Any]) -> CompressedBlock:
     """Encode with a named scheme."""
     try:
         enc, _dec = SCHEMES[scheme]
@@ -247,7 +250,7 @@ def encode(scheme: str, values: np.ndarray) -> CompressedBlock:
     return enc(values)
 
 
-def decode(block: CompressedBlock) -> np.ndarray:
+def decode(block: CompressedBlock) -> NDArray[Any]:
     """Decode any :class:`CompressedBlock`."""
     try:
         _enc, dec = SCHEMES[block.scheme]
@@ -256,9 +259,9 @@ def decode(block: CompressedBlock) -> np.ndarray:
     return dec(block)
 
 
-def best_scheme(values: np.ndarray) -> CompressedBlock:
+def best_scheme(values: NDArray[Any]) -> CompressedBlock:
     """Try all applicable schemes and return the smallest encoding."""
-    best = None
+    best: Optional[CompressedBlock] = None
     for name, (enc, _dec) in SCHEMES.items():
         try:
             block = enc(values)

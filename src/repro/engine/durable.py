@@ -48,7 +48,7 @@ import os
 import time
 import zlib
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Optional, Tuple, Type, Union
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Type, TypeVar, Union
 
 PathLike = Union[str, Path]
 
@@ -72,12 +72,12 @@ class InjectedCrash(BaseException):
 
 #: Every crash-point name that has ever fired (or been declared) in this
 #: process.  The fault harness enumerates this to prove coverage.
-KNOWN_CRASH_POINTS: set = set()
+KNOWN_CRASH_POINTS: set[str] = set()
 
-_crash_hook: Optional[Callable[[str, Dict], None]] = None
+_crash_hook: Optional[Callable[[str, Dict[str, object]], None]] = None
 
 
-def set_crash_hook(hook: Optional[Callable[[str, Dict], None]]) -> None:
+def set_crash_hook(hook: Optional[Callable[[str, Dict[str, object]], None]]) -> None:
     """Install (or clear, with ``None``) the process-wide crash hook.
 
     The hook receives ``(name, context)`` at every crash point; raising
@@ -87,7 +87,7 @@ def set_crash_hook(hook: Optional[Callable[[str, Dict], None]]) -> None:
     _crash_hook = hook
 
 
-def crash_point(name: str, **context) -> None:
+def crash_point(name: str, **context: object) -> None:
     """A named no-op the fault harness can turn into a simulated crash."""
     KNOWN_CRASH_POINTS.add(name)
     if _crash_hook is not None:
@@ -177,8 +177,11 @@ def record_quarantine(path: PathLike) -> None:
 # -- bounded retries --------------------------------------------------------
 
 
+_R = TypeVar("_R")
+
+
 def with_retries(
-    fn: Callable,
+    fn: Callable[[], _R],
     *,
     retries: int = 3,
     backoff: float = 0.01,
@@ -186,7 +189,7 @@ def with_retries(
     retry_on: Tuple[Type[BaseException], ...] = (OSError,),
     no_retry: Tuple[Type[BaseException], ...] = (),
     label: str = "",
-):
+) -> _R:
     """Call ``fn`` retrying transient errors with bounded backoff.
 
     ``retry_on`` exceptions are retried up to ``retries`` times with

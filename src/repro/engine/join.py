@@ -8,9 +8,10 @@ join-index style output, so results compose with :func:`repro.engine.project`.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .column import Column
 
@@ -18,9 +19,9 @@ from .column import Column
 def hash_join(
     left: Column,
     right: Column,
-    left_candidates: Optional[np.ndarray] = None,
-    right_candidates: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    left_candidates: Optional[NDArray[Any]] = None,
+    right_candidates: Optional[NDArray[Any]] = None,
+) -> Tuple[NDArray[Any], NDArray[Any]]:
     """Equi-join two columns; returns aligned (left_oids, right_oids).
 
     Builds on the smaller input, probes with the larger, and produces every
@@ -82,9 +83,9 @@ def band_join(
     left: Column,
     right: Column,
     radius: float,
-    left_candidates: Optional[np.ndarray] = None,
-    right_candidates: Optional[np.ndarray] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    left_candidates: Optional[NDArray[Any]] = None,
+    right_candidates: Optional[NDArray[Any]] = None,
+) -> Tuple[NDArray[Any], NDArray[Any]]:
     """Pairs with ``|left - right| <= radius`` (1-D band join).
 
     Used as the per-axis prefilter of distance joins: a 2-D ``ST_DWithin``

@@ -157,7 +157,11 @@ def run_tasks(
                     return
             try:
                 results[i] = run_one(i)
-            except BaseException as exc:  # propagate to the caller
+            except BaseException as exc:
+                # Deliberately broad, and baselined for repro-check's
+                # crash-transparency rule: the exception (InjectedCrash
+                # included) is stashed and re-raised on the *caller's*
+                # thread below — a raise here would vanish into the pool.
                 with cursor_lock:
                     errors.append(exc)
                 return

@@ -7,23 +7,23 @@ possible.  These helpers implement that fetch-join step.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from numpy.typing import NDArray
 
 from .table import Table
 
 
 def project(
-    table: Table, oids: np.ndarray, columns: Optional[Sequence[str]] = None
-) -> Dict[str, np.ndarray]:
+    table: Table, oids: NDArray[Any], columns: Optional[Sequence[str]] = None
+) -> Dict[str, NDArray[Any]]:
     """Materialise ``columns`` of ``table`` at the given row ids."""
     return table.fetch(oids, columns)
 
 
 def project_rows(
-    table: Table, oids: np.ndarray, columns: Optional[Sequence[str]] = None
-) -> list:
+    table: Table, oids: NDArray[Any], columns: Optional[Sequence[str]] = None
+) -> List[Tuple[Any, ...]]:
     """Materialise as a list of row tuples (for small result sets / display)."""
     cols = project(table, oids, columns)
     names = list(cols.keys())

@@ -11,16 +11,17 @@ a full scan for an index probe).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..obs.trace import maybe_span
 from . import parallel
 from .column import Column
 
 #: Comparison operators accepted by :func:`theta_select`.
-_THETA_OPS: Dict[str, Callable[[np.ndarray, object], np.ndarray]] = {
+_THETA_OPS: Dict[str, Callable[[NDArray[Any], object], NDArray[Any]]] = {
     "==": lambda v, c: v == c,
     "!=": lambda v, c: v != c,
     "<": lambda v, c: v < c,
@@ -30,7 +31,7 @@ _THETA_OPS: Dict[str, Callable[[np.ndarray, object], np.ndarray]] = {
 }
 
 
-def _as_candidates(mask: np.ndarray, candidates: Optional[np.ndarray]) -> np.ndarray:
+def _as_candidates(mask: NDArray[Any], candidates: Optional[NDArray[Any]]) -> NDArray[Any]:
     """Turn a boolean mask (over values or candidates) into a candidate list."""
     hits = np.flatnonzero(mask)
     if candidates is None:
@@ -39,10 +40,10 @@ def _as_candidates(mask: np.ndarray, candidates: Optional[np.ndarray]) -> np.nda
 
 
 def _morsel_mask(
-    vals: np.ndarray,
-    kernel: Callable[[np.ndarray], np.ndarray],
+    vals: NDArray[Any],
+    kernel: Callable[[NDArray[Any]], NDArray[Any]],
     threads: Optional[int],
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Evaluate a boolean kernel over ``vals``, morsel-parallel when useful.
 
     Each morsel writes its disjoint slice of one preallocated mask, so the
@@ -55,7 +56,7 @@ def _morsel_mask(
         return kernel(vals)
     mask = np.empty(n, dtype=bool)
 
-    def scan(span):
+    def scan(span: Tuple[int, int]) -> None:
         start, stop = span
         mask[start:stop] = kernel(vals[start:stop])
 
@@ -66,10 +67,10 @@ def _morsel_mask(
 def theta_select(
     column: Column,
     op: str,
-    constant,
-    candidates: Optional[np.ndarray] = None,
+    constant: object,
+    candidates: Optional[NDArray[Any]] = None,
     threads: Optional[int] = None,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Rows where ``column <op> constant`` holds, as a sorted oid array.
 
     When ``candidates`` is given, only those rows are inspected and the
@@ -90,13 +91,13 @@ def theta_select(
 
 def range_select(
     column: Column,
-    lo,
-    hi,
+    lo: Optional[Any],
+    hi: Optional[Any],
     lo_inclusive: bool = True,
     hi_inclusive: bool = True,
-    candidates: Optional[np.ndarray] = None,
+    candidates: Optional[NDArray[Any]] = None,
     threads: Optional[int] = None,
-) -> np.ndarray:
+) -> NDArray[Any]:
     """Rows with ``lo <(=) column <(=) hi`` as a sorted oid array.
 
     Either bound may be ``None`` for a half-open range.  This is the scan
@@ -108,7 +109,7 @@ def range_select(
     with maybe_span("select.range", column=column.name) as span:
         vals = column.values if candidates is None else column.take(candidates)
 
-        def kernel(part: np.ndarray) -> np.ndarray:
+        def kernel(part: NDArray[Any]) -> NDArray[Any]:
             mask = np.ones(part.shape[0], dtype=bool)
             if lo is not None:
                 mask &= (part >= lo) if lo_inclusive else (part > lo)
@@ -122,8 +123,8 @@ def range_select(
 
 
 def mask_select(
-    mask: np.ndarray, candidates: Optional[np.ndarray] = None
-) -> np.ndarray:
+    mask: NDArray[Any], candidates: Optional[NDArray[Any]] = None
+) -> NDArray[Any]:
     """Candidate list from a caller-computed boolean mask.
 
     The mask is over the full column when ``candidates`` is ``None`` and
@@ -132,16 +133,16 @@ def mask_select(
     return _as_candidates(np.asarray(mask, dtype=bool), candidates)
 
 
-def intersect_candidates(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def intersect_candidates(a: NDArray[Any], b: NDArray[Any]) -> NDArray[Any]:
     """Intersection of two sorted candidate lists (both remain sorted)."""
     return np.intersect1d(a, b, assume_unique=True)
 
 
-def union_candidates(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def union_candidates(a: NDArray[Any], b: NDArray[Any]) -> NDArray[Any]:
     """Union of two sorted candidate lists."""
     return np.union1d(a, b)
 
 
-def difference_candidates(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def difference_candidates(a: NDArray[Any], b: NDArray[Any]) -> NDArray[Any]:
     """Candidates in ``a`` but not in ``b`` (both sorted unique)."""
     return np.setdiff1d(a, b, assume_unique=True)

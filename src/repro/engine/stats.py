@@ -12,7 +12,10 @@ benchmark quantifies that contrast.
 
 from __future__ import annotations
 
+from typing import Any, List, Optional
+
 import numpy as np
+from numpy.typing import NDArray
 
 from .column import Column
 
@@ -54,7 +57,7 @@ class ZoneMap:
     def n_chunks(self) -> int:
         return self.mins.shape[0]
 
-    def candidate_chunks(self, lo, hi) -> np.ndarray:
+    def candidate_chunks(self, lo: Optional[Any], hi: Optional[Any]) -> NDArray[Any]:
         """Chunk ids whose [min, max] intersects [lo, hi]."""
         lo_eff = lo if lo is not None else -np.inf
         hi_eff = hi if hi is not None else np.inf
@@ -63,11 +66,11 @@ class ZoneMap:
 
     def query(
         self,
-        lo,
-        hi,
+        lo: Optional[Any],
+        hi: Optional[Any],
         lo_inclusive: bool = True,
         hi_inclusive: bool = True,
-    ) -> np.ndarray:
+    ) -> NDArray[Any]:
         """Exact range select using the zonemap to skip chunks.
 
         Returns a sorted oid array, identical to
@@ -77,7 +80,7 @@ class ZoneMap:
         if chunks.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
         vals = np.asarray(self.column.values)
-        pieces = []
+        pieces: List[NDArray[Any]] = []
         for cid in chunks:
             start = int(cid) * self.chunk_rows
             stop = min(start + self.chunk_rows, self._n)
@@ -90,8 +93,8 @@ class ZoneMap:
             pieces.append(np.flatnonzero(mask) + start)
         return np.concatenate(pieces).astype(np.int64)
 
-    def scanned_fraction(self, lo, hi) -> float:
+    def scanned_fraction(self, lo: Optional[Any], hi: Optional[Any]) -> float:
         """Fraction of the column a query must touch (E4 metric)."""
         if self.n_chunks == 0:
             return 0.0
-        return self.candidate_chunks(lo, hi).shape[0] / self.n_chunks
+        return float(self.candidate_chunks(lo, hi).shape[0] / self.n_chunks)

@@ -31,9 +31,10 @@ from __future__ import annotations
 import json
 import struct
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
 from . import durable
 from .column import TYPE_MAP, Column
@@ -58,7 +59,7 @@ class StorageError(IOError):
 # -- raw array dumps (the loader's intermediate files) ----------------------
 
 
-def dump_array(array: np.ndarray, path: PathLike) -> int:
+def dump_array(array: NDArray[Any], path: PathLike) -> int:
     """Write a 1-D numpy array as a ``.col`` file; returns bytes written.
 
     The write is atomic (see :mod:`repro.engine.durable`): readers see
@@ -85,7 +86,7 @@ def dump_array(array: np.ndarray, path: PathLike) -> int:
     return durable.atomic_write_bytes(path, header + payload, label="col")
 
 
-def _parse_header(raw: bytes, path: Path) -> Tuple[int, np.dtype, int, Optional[int], int]:
+def _parse_header(raw: bytes, path: Path) -> Tuple[int, "np.dtype[Any]", int, Optional[int], int]:
     """(version, dtype, count, crc-or-None, payload offset) of a .col blob."""
     if len(raw) < _PREFIX.size:
         raise StorageError(f"{path}: truncated header")
@@ -132,7 +133,7 @@ def read_column_header(path: PathLike) -> Dict[str, object]:
     }
 
 
-def load_array(path: PathLike) -> np.ndarray:
+def load_array(path: PathLike) -> NDArray[Any]:
     """Read a ``.col`` file back into a numpy array.
 
     Verifies the embedded CRC32 for v2 files; a mismatch raises
@@ -225,7 +226,7 @@ def load_table(directory: PathLike) -> Table:
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise StorageError(f"{meta_path}: corrupt table metadata ({exc})") from None
     table = Table(meta["name"], [tuple(pair) for pair in meta["schema"]])
-    batch = {}
+    batch: Dict[str, NDArray[Any]] = {}
     for name, _type in table.schema:
         batch[name] = load_array(directory / f"{name}.col")
     lengths = {arr.shape[0] for arr in batch.values()}
@@ -270,7 +271,7 @@ def recover_table(directory: PathLike) -> Tuple[Table, List[str]]:
         raise StorageError(f"{meta_path}: corrupt table metadata ({exc})") from None
     issues: List[str] = []
     table = Table(meta["name"], [tuple(pair) for pair in meta["schema"]])
-    batch = {}
+    batch: Dict[str, NDArray[Any]] = {}
     for name, _type in table.schema:
         batch[name] = load_array(directory / f"{name}.col")
     target = int(meta["rows"])

@@ -9,9 +9,10 @@ column-batch form; the latter is the fast path used by the binary loader.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from .column import Column
 
@@ -79,7 +80,7 @@ class Table:
 
     # -- mutation ----------------------------------------------------------
 
-    def append_columns(self, batch: Mapping[str, Iterable]) -> int:
+    def append_columns(self, batch: Mapping[str, ArrayLike]) -> int:
         """Append a column-oriented batch; returns first new oid.
 
         ``batch`` must contain exactly the table's columns and all arrays
@@ -102,7 +103,7 @@ class Table:
             self._columns[name].append(arr)
         return first_oid
 
-    def append_rows(self, rows: Iterable[Sequence]) -> int:
+    def append_rows(self, rows: Iterable[Sequence[object]]) -> int:
         """Append row tuples (column order follows the schema)."""
         rows = list(rows)
         if not rows:
@@ -135,12 +136,12 @@ class Table:
     # -- access ------------------------------------------------------------
 
     def fetch(
-        self, oids: np.ndarray, columns: Optional[Sequence[str]] = None
-    ) -> Dict[str, np.ndarray]:
+        self, oids: NDArray[Any], columns: Optional[Sequence[str]] = None
+    ) -> Dict[str, NDArray[Any]]:
         """Materialise the requested columns at the given row ids."""
         names = list(columns) if columns is not None else self.column_names
         return {name: self.column(name).take(oids) for name in names}
 
-    def row(self, oid: int) -> Tuple:
+    def row(self, oid: int) -> Tuple[Any, ...]:
         """A single row as a tuple in schema order (debug/point lookups)."""
         return tuple(self.column(n).values[oid] for n in self.column_names)

@@ -212,7 +212,10 @@ def load_files(
                 return load_file(table, path, spool_dir=spool_dir)
             except InjectedCrash:
                 raise  # a dead process rolls nothing back
-            except BaseException:
+            except Exception:
+                # Narrowed from BaseException so InjectedCrash (and a
+                # real KeyboardInterrupt) can never detour through the
+                # rollback path of a process that is supposed to be dead.
                 torn = len(table) - rows_before
                 if torn > 0:
                     table.truncate(rows_before)
@@ -231,7 +234,7 @@ def load_files(
             )
         except InjectedCrash:
             raise  # leave the journal frozen, exactly like a kill -9
-        except BaseException:
+        except Exception:
             if manifest is not None:
                 manifest.abort(path)
             raise

@@ -14,6 +14,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..engine.durable import atomic_write_bytes
 from .header import LasFormatError, LasHeader
 from .spec import POINT_FORMATS, pack_classification, pack_flags
 
@@ -131,7 +132,9 @@ def write_las(
         points_by_return=tuple(by_return),
         file_source_id=file_source_id,
     )
-    with open(Path(path), "wb") as fh:
-        fh.write(header.pack())
-        fh.write(records.tobytes())
+    # Atomic write: an exported LAS file is either complete or absent,
+    # never a header with a torn point block behind it.
+    atomic_write_bytes(
+        Path(path), header.pack() + records.tobytes(), label="las"
+    )
     return header

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, TypeVar, Union
 
 #: Default latency bucket upper bounds, in seconds.  Fixed buckets (not
 #: adaptive) so two snapshots — or two machines — are always comparable
@@ -66,7 +66,7 @@ class Counter:
         with self._lock:
             self._value = 0
 
-    def snapshot(self):
+    def snapshot(self) -> int:
         return self._value
 
 
@@ -96,7 +96,7 @@ class Gauge:
         with self._lock:
             self._value = 0.0
 
-    def snapshot(self):
+    def snapshot(self) -> float:
         return self._value
 
 
@@ -175,14 +175,14 @@ class Histogram:
             self._min = float("inf")
             self._max = float("-inf")
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
             counts = list(self._counts)
             count = self._count
             total = self._sum
             vmin = self._min
             vmax = self._max
-        record = {
+        record: Dict[str, object] = {
             "count": count,
             "sum": total,
             "min": vmin if count else None,
@@ -200,6 +200,11 @@ class Histogram:
         return record
 
 
+Metric = Union[Counter, Gauge, Histogram]
+
+M = TypeVar("M", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """Named instruments with get-or-create access and one snapshot.
 
@@ -210,9 +215,11 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: Dict[str, object] = {}
+        self._metrics: Dict[str, Metric] = {}
 
-    def _get_or_create(self, name: str, kind, factory):
+    def _get_or_create(
+        self, name: str, kind: Type[M], factory: Callable[[], M]
+    ) -> M:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:

@@ -1,0 +1,53 @@
+"""The declared registry of every metric name the engine emits.
+
+Metrics are get-or-create by name (:meth:`MetricsRegistry.counter` and
+friends), so a typo'd name — ``durability.retires`` — would silently
+fork a fresh, forever-zero series instead of erroring.  This module is
+the single place names are declared; the ``counter-registry`` rule of
+``repro-gis check`` fails the build when a literal name used anywhere
+in ``src/`` is missing here.  Keep ``docs/observability.md`` in sync.
+
+Naming convention: dotted lowercase ``<subsystem>.<what>``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: Monotonic event counts.
+COUNTERS: FrozenSet[str] = frozenset(
+    {
+        "durability.checksum_failures",
+        "durability.quarantines",
+        "durability.retries",
+        "durability.rolled_back_rows",
+        "imprints.builds",
+        "imprints.segment_builds",
+        "load.files",
+        "load.points",
+        "load.tiles_skipped",
+        "parallel.tasks",
+        "query.count",
+        "query.segments_probed",
+        "query.segments_skipped",
+        "sql.queries",
+    }
+)
+
+#: Point-in-time values (none emitted by the engine yet).
+GAUGES: FrozenSet[str] = frozenset()
+
+#: Latency / size distributions.
+HISTOGRAMS: FrozenSet[str] = frozenset(
+    {
+        "imprints.build_seconds",
+        "load.seconds",
+        "query.filter_seconds",
+        "query.refine_seconds",
+        "query.total_seconds",
+        "sql.seconds",
+    }
+)
+
+#: Every declared metric name, any kind.
+ALL_METRICS: FrozenSet[str] = COUNTERS | GAUGES | HISTOGRAMS

@@ -36,7 +36,21 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from functools import wraps
-from typing import Dict, Iterable, List, Optional
+from types import TracebackType
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Type,
+    TypeVar,
+    Union,
+    cast,
+)
 
 #: Environment switch: any value but ""/"0"/"false"/"no" enables tracing.
 TRACE_ENV = "REPRO_TRACE"
@@ -77,11 +91,13 @@ class Span:
         tracer: "Tracer",
         name: str,
         parent: Optional["Span"] = None,
-        attributes: Optional[dict] = None,
+        attributes: Optional[Dict[str, object]] = None,
     ) -> None:
         self.tracer = tracer
         self.name = name
-        self.attributes = dict(attributes) if attributes else {}
+        self.attributes: Dict[str, object] = (
+            dict(attributes) if attributes else {}
+        )
         self.parent = parent
         self.trace_id = 0
         self.span_id = 0
@@ -112,7 +128,12 @@ class Span:
         self.start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         self.end = time.perf_counter()
         if self._recording:
             if exc_type is not None:
@@ -123,7 +144,7 @@ class Span:
             self.tracer._finish(self)
         return False
 
-    def set(self, **attributes) -> "Span":
+    def set(self, **attributes: object) -> "Span":
         """Attach attributes (rows in/out, segment counts...)."""
         self.attributes.update(attributes)
         return self
@@ -142,10 +163,15 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
-    def set(self, **attributes) -> "_NoopSpan":
+    def set(self, **attributes: object) -> "_NoopSpan":
         return self
 
     @property
@@ -173,7 +199,7 @@ class Tracer:
         if enabled is None:
             enabled = os.environ.get(TRACE_ENV, "").strip().lower() not in _FALSY
         self.enabled = bool(enabled)
-        self._buffer: deque = deque(maxlen=max_spans)
+        self._buffer: Deque[Span] = deque(maxlen=max_spans)
         self._lock = threading.Lock()
         self._captures: List[List[Span]] = []
         self._local = threading.local()
@@ -194,18 +220,21 @@ class Tracer:
     # -- span plumbing ---------------------------------------------------------
 
     def _stack(self) -> List[Span]:
-        stack = getattr(self._local, "stack", None)
+        stack: Optional[List[Span]] = getattr(self._local, "stack", None)
         if stack is None:
-            stack = self._local.stack = []
+            stack = []
+            self._local.stack = stack
         return stack
 
     def current(self) -> Optional[Span]:
         """The innermost open span on this thread (for explicit
         cross-thread parenting), or None."""
-        stack = getattr(self._local, "stack", None)
+        stack: Optional[List[Span]] = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
 
-    def span(self, name: str, parent: Optional[Span] = None, **attributes) -> Span:
+    def span(
+        self, name: str, parent: Optional[Span] = None, **attributes: object
+    ) -> Span:
         """A new span context manager (always timed; recorded when enabled)."""
         return Span(self, name, parent=parent, attributes=attributes)
 
@@ -216,7 +245,7 @@ class Tracer:
                 sink.append(span)
 
     @contextmanager
-    def capture(self):
+    def capture(self) -> Iterator[List[Span]]:
         """Force-enable tracing and collect every span finished inside.
 
         Yields the list the spans accumulate into (ordered by finish
@@ -266,7 +295,9 @@ def get_tracer() -> Tracer:
     return _global_tracer
 
 
-def maybe_span(name: str, parent: Optional[Span] = None, **attributes):
+def maybe_span(
+    name: str, parent: Optional[Span] = None, **attributes: object
+) -> Union[Span, _NoopSpan]:
     """A real span when tracing is on, the shared no-op span when off.
 
     This is the form instrumented hot paths use: with tracing disabled
@@ -278,7 +309,12 @@ def maybe_span(name: str, parent: Optional[Span] = None, **attributes):
     return NOOP_SPAN
 
 
-def traced(name: Optional[str] = None, **attributes):
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def traced(
+    name: Optional[str] = None, **attributes: object
+) -> Callable[[F], F]:
     """Decorator form: wrap every call of ``fn`` in a span.
 
     ::
@@ -287,18 +323,18 @@ def traced(name: Optional[str] = None, **attributes):
         def read_point_file(path): ...
     """
 
-    def decorate(fn):
+    def decorate(fn: F) -> F:
         label = name if name is not None else fn.__qualname__
 
         @wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             tracer = _global_tracer
             if not tracer.enabled:
                 return fn(*args, **kwargs)
             with tracer.span(label, **attributes):
                 return fn(*args, **kwargs)
 
-        return wrapper
+        return cast(F, wrapper)
 
     return decorate
 
@@ -306,7 +342,7 @@ def traced(name: Optional[str] = None, **attributes):
 # -- exporters -----------------------------------------------------------------
 
 
-def _json_value(value):
+def _json_value(value: object) -> object:
     """Attributes -> JSON-safe values (numpy scalars included)."""
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
@@ -319,7 +355,7 @@ def _json_value(value):
     return str(value)
 
 
-def span_to_dict(span: Span) -> dict:
+def span_to_dict(span: Span) -> Dict[str, object]:
     """One span as a plain dict (the JSON exporter's record shape)."""
     return {
         "name": span.name,
@@ -365,7 +401,7 @@ def to_chrome(spans: Iterable[Span]) -> str:
     Perfetto JSON schema): complete events (``ph: "X"``) with
     microsecond timestamps and the attributes under ``args``."""
     pid = os.getpid()
-    events = []
+    events: List[Dict[str, object]] = []
     for span in spans:
         events.append(
             {
@@ -387,7 +423,7 @@ def to_chrome(spans: Iterable[Span]) -> str:
 # -- tree rendering ------------------------------------------------------------
 
 
-def _format_attr(value) -> str:
+def _format_attr(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)

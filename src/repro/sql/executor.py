@@ -29,6 +29,7 @@ from ..core.query import SpatialSelect
 from ..engine.table import Table
 from ..gis.geometry import Geometry
 from ..obs.metrics import get_registry
+from ..obs.timing import now
 from ..obs.trace import format_tree, get_tracer, maybe_span
 from . import ast
 from .functions import AGGREGATES, call
@@ -203,8 +204,6 @@ class Session:
         ``parse``, ``join_filter`` (scans, index probes, joins),
         ``project`` (projection/aggregation/order/limit) and ``total``.
         """
-        import time as _time
-
         prefix = _EXPLAIN_RE.match(sql)
         if prefix is not None:
             body = sql[prefix.end():]
@@ -218,12 +217,12 @@ class Session:
             )
 
         with maybe_span("sql.query", sql=sql.strip()) as query_span:
-            t0 = _time.perf_counter()
+            t0 = now()
             with maybe_span("sql.parse"):
                 select = parse(sql)
-            t1 = _time.perf_counter()
+            t1 = now()
             result, t_join = self._run_profiled(select)
-            t2 = _time.perf_counter()
+            t2 = now()
             query_span.set(rows_out=len(result.rows))
         self.last_profile = {
             "parse": t1 - t0,
@@ -237,8 +236,6 @@ class Session:
         return result
 
     def _run_profiled(self, select: ast.Select):
-        import time as _time
-
         refs: List[ast.TableRef] = list(select.tables)
         conjuncts: List[ast.Node] = []
         for table_ref, condition in select.joins:
@@ -258,9 +255,9 @@ class Session:
             relation.refresh()
             bindings.append((ref.binding, relation))
 
-        t0 = _time.perf_counter()
+        t0 = now()
         frame = _join(bindings, conjuncts)
-        t_join = _time.perf_counter() - t0
+        t_join = now() - t0
         return _project(select, frame), t_join
 
     def explain(self, sql: str) -> str:

@@ -13,6 +13,7 @@ from typing import Tuple, Union
 
 import numpy as np
 
+from ..engine.durable import atomic_write_bytes
 from ..gis.envelope import Box
 
 PathLike = Union[str, Path]
@@ -136,11 +137,14 @@ class Canvas:
     # -- output ------------------------------------------------------------------------
 
     def write_ppm(self, path: PathLike) -> Path:
-        """Write the canvas as a binary PPM (P6)."""
+        """Write the canvas as a binary PPM (P6).
+
+        Atomic (temp + fsync + rename): a crash mid-render never leaves
+        a torn image for a viewer or a pipeline stage to trip over.
+        """
         path = Path(path)
-        with open(path, "wb") as fh:
-            fh.write(f"P6\n{self.width} {self.height}\n255\n".encode())
-            fh.write(self.pixels.tobytes())
+        header = f"P6\n{self.width} {self.height}\n255\n".encode()
+        atomic_write_bytes(path, header + self.pixels.tobytes(), label="ppm")
         return path
 
     def to_ascii(self, columns: int = 80) -> str:
@@ -148,12 +152,12 @@ class Canvas:
         return ascii_render(self.pixels, columns=columns)
 
     def write_pgm(self, path: PathLike) -> Path:
-        """Write a grayscale PGM (P5) using luminance."""
+        """Write a grayscale PGM (P5) using luminance; atomic like
+        :meth:`write_ppm`."""
         path = Path(path)
         gray = _luminance(self.pixels).astype(np.uint8)
-        with open(path, "wb") as fh:
-            fh.write(f"P5\n{self.width} {self.height}\n255\n".encode())
-            fh.write(gray.tobytes())
+        header = f"P5\n{self.width} {self.height}\n255\n".encode()
+        atomic_write_bytes(path, header + gray.tobytes(), label="pgm")
         return path
 
 

@@ -1,0 +1,691 @@
+"""The static-analysis framework: rules, baseline, reporters, CLI.
+
+Each rule gets positive + negative fixture snippets; the fixture trees
+mirror the real layout (``repro/...``) so the default configuration's
+module designations (hot paths, lock modules, the durable allowlist)
+apply to them exactly as they do to the real tree.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_check
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import Config, Project
+from repro.analysis.main import main as check_main
+from repro.analysis.registry import all_rules
+from repro.analysis.report import to_json, to_text
+from repro.analysis.rules.struct_format import field_count
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def make_tree(tmp_path, files):
+    """Materialise ``{relpath: source}`` under ``tmp_path`` and return
+    the scan root (the ``repro`` directory)."""
+    root = tmp_path / "repro"
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    root.mkdir(exist_ok=True)
+    return root
+
+
+def check(tmp_path, files, **kwargs):
+    root = make_tree(tmp_path, files)
+    return run_check(root, baseline=Baseline(), **kwargs)
+
+
+def rule_ids(report):
+    return sorted({f.rule for f in report.findings})
+
+
+# -- R1 durable-write ----------------------------------------------------------
+
+
+class TestDurableWrite:
+    def test_raw_binary_open_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/x.py": 'fh = open("out.col", "wb")\n'},
+            rule_ids=["durable-write"],
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "durable-write"
+        assert report.findings[0].line == 1
+
+    def test_write_text_modes_and_renames_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    'import os, json\n'
+                    'open("a", "w")\n'
+                    'open("b", mode="ab")\n'
+                    'os.replace("a", "b")\n'
+                    'json.dump({}, open("c"))\n'
+                )
+            },
+            rule_ids=["durable-write"],
+        )
+        assert len(report.findings) == 4
+
+    def test_reads_and_durable_module_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": 'data = open("a.col", "rb").read()\nopen("b")\n',
+                "repro/engine/durable.py": (
+                    'import os\n'
+                    'fh = open("t", "wb")\n'
+                    'os.replace("t", "a")\n'
+                ),
+            },
+            rule_ids=["durable-write"],
+        )
+        assert report.findings == []
+
+
+# -- R2 crash-transparency -----------------------------------------------------
+
+
+class TestCrashTransparency:
+    def test_swallowing_handlers_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def a():
+                    try:
+                        work()
+                    except:
+                        pass
+
+                def b():
+                    try:
+                        work()
+                    except BaseException:
+                        return None
+                """
+            },
+            rule_ids=["crash-transparency"],
+        )
+        assert len(report.findings) == 2
+
+    def test_reraising_and_narrow_handlers_pass(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def a():
+                    try:
+                        work()
+                    except BaseException:
+                        cleanup()
+                        raise
+
+                def b():
+                    try:
+                        work()
+                    except Exception:
+                        pass
+
+                def c():
+                    try:
+                        work()
+                    except (ValueError, BaseException) as exc:
+                        raise RuntimeError("wrapped") from exc
+                """
+            },
+            rule_ids=["crash-transparency"],
+        )
+        assert report.findings == []
+
+    def test_raise_inside_nested_function_does_not_count(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def a():
+                    try:
+                        work()
+                    except BaseException:
+                        def later():
+                            raise RuntimeError("never runs now")
+                        keep(later)
+                """
+            },
+            rule_ids=["crash-transparency"],
+        )
+        assert len(report.findings) == 1
+
+
+# -- R3 lock-discipline --------------------------------------------------------
+
+# Default config designates repro/obs/metrics.py as a lock module; the
+# fixtures reuse that path so the stock `repro-gis check` sees them.
+LOCKED_CLASS_BAD = """
+import threading
+
+class Buffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self.count = 0
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self.count += 1
+
+    def sneak(self, item):
+        self._items.append(item)
+"""
+
+LOCKED_CLASS_GOOD = LOCKED_CLASS_BAD.replace(
+    "    def sneak(self, item):\n        self._items.append(item)\n",
+    "    def sneak(self, item):\n"
+    "        with self._lock:\n"
+    "            self._items.append(item)\n",
+)
+
+LOCK_ORDER_CYCLE = """
+import threading
+
+A = threading.Lock()
+B = threading.Lock()
+
+def one():
+    with A:
+        with B:
+            pass
+
+def two():
+    with B:
+        with A:
+            pass
+"""
+
+
+class TestLockDiscipline:
+    def test_unguarded_write_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/obs/metrics.py": LOCKED_CLASS_BAD},
+            rule_ids=["lock-discipline"],
+        )
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert "Buffer._items" in finding.message
+        assert "sneak" in finding.message
+
+    def test_guarded_writes_pass(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/obs/metrics.py": LOCKED_CLASS_GOOD},
+            rule_ids=["lock-discipline"],
+        )
+        assert report.findings == []
+
+    def test_init_writes_exempt(self, tmp_path):
+        # Construction happens before the object is shared.
+        report = check(
+            tmp_path,
+            {
+                "repro/obs/metrics.py": """
+                import threading
+
+                class Plain:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.value = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self.value += 1
+                """
+            },
+            rule_ids=["lock-discipline"],
+        )
+        assert report.findings == []
+
+    def test_lock_order_cycle_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/obs/metrics.py": LOCK_ORDER_CYCLE},
+            rule_ids=["lock-discipline"],
+        )
+        assert len(report.findings) == 1
+        assert "cycle" in report.findings[0].message
+
+    def test_consistent_lock_order_passes(self, tmp_path):
+        consistent = LOCK_ORDER_CYCLE.replace(
+            "def two():\n    with B:\n        with A:",
+            "def two():\n    with A:\n        with B:",
+        )
+        report = check(
+            tmp_path,
+            {"repro/obs/metrics.py": consistent},
+            rule_ids=["lock-discipline"],
+        )
+        assert report.findings == []
+
+    def test_non_designated_module_ignored(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/gis/whatever.py": LOCKED_CLASS_BAD},
+            rule_ids=["lock-discipline"],
+        )
+        assert report.findings == []
+
+
+# -- R4 struct-format ----------------------------------------------------------
+
+
+class TestStructFormat:
+    def test_size_constant_drift_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                import struct
+                HEADER_SIZE = 7
+                _S = struct.Struct("<4sH")
+                assert _S.size == HEADER_SIZE
+                """
+            },
+            rule_ids=["struct-format"],
+        )
+        assert len(report.findings) == 1
+        assert "drifted" in report.findings[0].message
+
+    def test_matching_size_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                import struct
+                HEADER_SIZE = 6
+                _S = struct.Struct("<4sH")
+                assert _S.size == HEADER_SIZE
+                """
+            },
+            rule_ids=["struct-format"],
+        )
+        assert report.findings == []
+
+    def test_pack_arity_mismatch_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                import struct
+                _S = struct.Struct("<4sHH")
+                raw = _S.pack(b"MAGI", 1)
+                """
+            },
+            rule_ids=["struct-format"],
+        )
+        assert len(report.findings) == 1
+        assert "2 values" in report.findings[0].message
+        assert "3 fields" in report.findings[0].message
+
+    def test_unpack_arity_mismatch_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                import struct
+                _S = struct.Struct("<4sHH")
+                magic, version = _S.unpack(b"x" * 8)
+                """
+            },
+            rule_ids=["struct-format"],
+        )
+        assert len(report.findings) == 1
+
+    def test_invalid_format_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                import struct
+                _S = struct.Struct("<4sZ")
+                """
+            },
+            rule_ids=["struct-format"],
+        )
+        assert len(report.findings) == 1
+        assert "invalid struct format" in report.findings[0].message
+
+    def test_correct_usage_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                import struct
+                _S = struct.Struct("<4sHHQ")
+                raw = _S.pack(b"MAGI", 2, 3, 4)
+                magic, version, kind, rows = _S.unpack(raw)
+                """
+            },
+            rule_ids=["struct-format"],
+        )
+        assert report.findings == []
+
+    def test_field_count(self):
+        assert field_count("<4sH") == 2
+        assert field_count("<4sHHQQI") == 6
+        assert field_count("<3i") == 3
+        assert field_count("<4x2H") == 2
+        assert field_count("@QQ") == 2
+
+
+# -- R5 span-discipline --------------------------------------------------------
+
+
+class TestSpanDiscipline:
+    def test_clock_call_in_hot_module_flagged(self, tmp_path):
+        # repro/core/query.py is in the default hot-path designation.
+        report = check(
+            tmp_path,
+            {
+                "repro/core/query.py": (
+                    "import time\nstart = time.perf_counter()\n"
+                )
+            },
+            rule_ids=["span-discipline"],
+        )
+        assert len(report.findings) == 1
+
+    def test_cold_module_and_obs_helper_pass(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/bench/harness.py": (
+                    "import time\nstart = time.perf_counter()\n"
+                ),
+                "repro/core/query.py": (
+                    "from repro.obs.timing import now\nstart = now()\n"
+                ),
+            },
+            rule_ids=["span-discipline"],
+        )
+        assert report.findings == []
+
+
+# -- R6 counter-registry -------------------------------------------------------
+
+
+class TestCounterRegistry:
+    def test_typod_counter_flagged_with_hint(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("durability.retires").inc()\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert len(report.findings) == 1
+        assert "durability.retries" in report.findings[0].message  # hint
+
+    def test_declared_names_pass(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("durability.retries").inc()\n'
+                    'get_registry().histogram("query.total_seconds")\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert report.findings == []
+
+    def test_wrong_kind_flagged(self, tmp_path):
+        # Declared as a histogram, used as a counter.
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("query.total_seconds").inc()\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert len(report.findings) == 1
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+class TestBaseline:
+    FILES = {"repro/x.py": 'fh = open("out.col", "wb")\n'}
+
+    def test_round_trip_add_then_clean(self, tmp_path):
+        root = make_tree(tmp_path, self.FILES)
+        report = run_check(root, baseline=Baseline(), rule_ids=["durable-write"])
+        assert len(report.findings) == 1
+
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings).save(path)
+        loaded = Baseline.load(path)
+        again = run_check(root, baseline=loaded, rule_ids=["durable-write"])
+        assert again.ok
+        assert again.findings == []
+        assert len(again.suppressed) == 1
+
+    def test_baseline_survives_line_shifts(self, tmp_path):
+        root = make_tree(tmp_path, self.FILES)
+        report = run_check(root, baseline=Baseline(), rule_ids=["durable-write"])
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings).save(path)
+
+        # Prepend lines: the finding moves but its snippet does not.
+        target = tmp_path / "repro" / "x.py"
+        target.write_text("import os\n\n\n" + target.read_text())
+        again = run_check(
+            root,
+            baseline=Baseline.load(path),
+            rule_ids=["durable-write"],
+        )
+        assert again.findings == []
+        assert len(again.suppressed) == 1
+
+    def test_stale_entries_reported_not_fatal(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/x.py": "value = 1\n"})
+        stale = Baseline(
+            [BaselineEntry("durable-write", "repro/gone.py", "open('a','wb')")]
+        )
+        report = run_check(root, baseline=stale, rule_ids=["durable-write"])
+        assert report.ok
+        assert len(report.unused_baseline) == 1
+
+    def test_justifications_preserved_on_update(self, tmp_path):
+        root = make_tree(tmp_path, self.FILES)
+        report = run_check(root, baseline=Baseline(), rule_ids=["durable-write"])
+        old = Baseline.from_findings(report.findings)
+        entry = next(iter(old.unused()))
+        entry.justification = "because streaming"
+        new = Baseline.from_findings(report.findings, previous=old)
+        assert new.justification(report.findings[0]) == "because streaming"
+
+
+# -- reporters -----------------------------------------------------------------
+
+
+class TestReporters:
+    def test_text_and_json_agree(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/x.py": 'fh = open("out.col", "wb")\n'},
+            rule_ids=["durable-write"],
+        )
+        text = to_text(report)
+        doc = json.loads(to_json(report))
+        assert "durable-write" in text
+        assert doc["ok"] is False
+        assert doc["errors"] == 1
+        assert doc["findings"][0]["rule"] == "durable-write"
+        assert doc["findings"][0]["path"] == "repro/x.py"
+
+
+# -- CLI entry points ----------------------------------------------------------
+
+
+class TestCli:
+    def seed(self, tmp_path, files):
+        return str(make_tree(tmp_path, files))
+
+    @pytest.mark.parametrize(
+        "relpath,source",
+        [
+            ("repro/x.py", 'open("a.col", "wb")\n'),  # R1
+            (
+                "repro/x.py",
+                "try:\n    pass\nexcept BaseException:\n    pass\n",
+            ),  # R2
+            ("repro/obs/metrics.py", LOCKED_CLASS_BAD),  # R3
+            (
+                "repro/x.py",
+                'import struct\nS = struct.Struct("<H")\nS.pack(1, 2)\n',
+            ),  # R4
+            ("repro/core/query.py", "import time\ntime.perf_counter()\n"),  # R5
+            (
+                "repro/x.py",
+                'from repro.obs.metrics import get_registry\n'
+                'get_registry().counter("durability.retires")\n',
+            ),  # R6
+        ],
+        ids=[
+            "durable-write",
+            "crash-transparency",
+            "lock-discipline",
+            "struct-format",
+            "span-discipline",
+            "counter-registry",
+        ],
+    )
+    def test_seeded_violation_exits_nonzero(self, tmp_path, relpath, source, capsys):
+        root = self.seed(tmp_path, {relpath: source})
+        assert check_main([root]) == 1
+        out = capsys.readouterr().out
+        assert "error[" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = self.seed(tmp_path, {"repro/x.py": "value = 1\n"})
+        assert check_main([root]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        root = self.seed(tmp_path, {"repro/x.py": 'open("a", "wb")\n'})
+        assert check_main([root, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] == 1
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        root = self.seed(
+            tmp_path,
+            {"repro/x.py": 'open("a", "wb")\n'},
+        )
+        assert check_main([root, "--select", "struct-format"]) == 0
+
+    def test_update_baseline_flow(self, tmp_path, capsys):
+        root = self.seed(tmp_path, {"repro/x.py": 'open("a", "wb")\n'})
+        baseline = str(tmp_path / "baseline.json")
+        assert check_main([root, "--baseline", baseline]) == 1
+        assert (
+            check_main([root, "--baseline", baseline, "--update-baseline"])
+            == 0
+        )
+        assert check_main([root, "--baseline", baseline]) == 0
+
+    def test_repro_gis_check_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        root = self.seed(tmp_path, {"repro/x.py": 'open("a", "wb")\n'})
+        assert cli_main(["check", root]) == 1
+        assert cli_main(["check", root, "--select", "struct-format"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert check_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.id in out
+
+
+# -- the meta-test: the repo itself is clean -----------------------------------
+
+
+class TestSelfCheck:
+    def test_src_tree_clean_with_committed_baseline(self):
+        """`repro-gis check` runs clean on src/ with the committed
+        baseline — the invariant the CI `check` job enforces."""
+        repo_root = SRC_ROOT.parent.parent
+        baseline = Baseline.load(repo_root / "repro-check.baseline.json")
+        report = run_check(SRC_ROOT, baseline=baseline)
+        assert report.findings == [], [f.to_dict() for f in report.findings]
+        assert report.ok
+
+    def test_committed_baseline_has_justifications(self):
+        repo_root = SRC_ROOT.parent.parent
+        doc = json.loads(
+            (repo_root / "repro-check.baseline.json").read_text()
+        )
+        assert doc["findings"], "baseline should carry the deliberate cases"
+        for entry in doc["findings"]:
+            assert entry["justification"].strip(), entry
+
+    def test_no_stale_baseline_entries(self):
+        repo_root = SRC_ROOT.parent.parent
+        baseline = Baseline.load(repo_root / "repro-check.baseline.json")
+        report = run_check(SRC_ROOT, baseline=baseline)
+        assert report.unused_baseline == [], [
+            e.to_dict() for e in report.unused_baseline
+        ]
+
+    def test_every_rule_registered(self):
+        ids = {rule.id for rule in all_rules()}
+        assert ids == {
+            "durable-write",
+            "crash-transparency",
+            "lock-discipline",
+            "struct-format",
+            "span-discipline",
+            "counter-registry",
+        }
+
+
+# -- config plumbing -----------------------------------------------------------
+
+
+class TestConfig:
+    def test_custom_config_overrides_designations(self, tmp_path):
+        root = make_tree(
+            tmp_path,
+            {"repro/custom/hot.py": "import time\ntime.monotonic()\n"},
+        )
+        config = Config(hotpath_modules=frozenset({"repro/custom/hot.py"}))
+        report = run_check(
+            root,
+            config=config,
+            baseline=Baseline(),
+            rule_ids=["span-discipline"],
+        )
+        assert len(report.findings) == 1
+
+    def test_project_module_lookup(self, tmp_path):
+        root = make_tree(tmp_path, {"repro/a.py": "x = 1\n"})
+        project = Project.load(root)
+        assert project.module("repro/a.py") is not None
+        assert project.module("repro/missing.py") is None

@@ -1,0 +1,28 @@
+"""The strict-typing gate: `mypy --strict` on the annotated packages.
+
+Skipped when mypy is not installed (it is a `dev` extra, not a runtime
+dependency); the CI `check` job installs it and runs the same command.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="strict-typing gate needs the mypy dev extra")
+
+REPO = Path(__file__).resolve().parent.parent
+PACKAGES = ["src/repro/engine", "src/repro/core/imprints", "src/repro/obs"]
+
+
+def test_strict_typing_gate() -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", *PACKAGES],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
