@@ -27,7 +27,14 @@ from .core.query import QueryResult, SpatialSelect
 from .engine.catalog import Database
 from .engine.table import Table
 from .las.binloader import LoadStats, create_flat_table, load_arrays, load_files
+from .gis.predicates import geometry_envelope
 from .obs.metrics import get_registry
+from .obs.slowlog import (
+    DEFAULT_LOG_NAME,
+    SlowQueryLog,
+    path_from_env,
+    threshold_from_env,
+)
 from .obs.trace import get_tracer
 from .sql.executor import Result, Session
 
@@ -49,6 +56,16 @@ class PointCloudDB:
         ``True`` enables the process-wide span tracer (``False`` disables
         it); ``None`` leaves it as-is (the ``REPRO_TRACE`` env var
         default).  Tracing off costs one attribute check per span site.
+    slow_query_s:
+        Arm the slow-query log: queries (spatial or SQL) taking at least
+        this many wall-clock seconds append one structured JSONL record
+        (identity, stats, resources, span tree) to ``slow_query_log``.
+        ``None`` falls back to ``REPRO_SLOW_QUERY_S``; when neither is
+        set the log is off and queries pay nothing.
+    slow_query_log:
+        The JSONL file for slow-query records.  Defaults to
+        ``REPRO_SLOW_QUERY_LOG``, else ``slow-query.jsonl`` next to the
+        database directory (or the working directory without one).
     """
 
     def __init__(
@@ -56,6 +73,8 @@ class PointCloudDB:
         directory: Optional[PathLike] = None,
         threads: Optional[int] = None,
         tracing: Optional[bool] = None,
+        slow_query_s: Optional[float] = None,
+        slow_query_log: Optional[PathLike] = None,
     ) -> None:
         self.db = Database(directory=directory)
         self.threads = threads
@@ -65,6 +84,17 @@ class PointCloudDB:
         if tracing is not None:
             tracer = get_tracer()
             tracer.enable() if tracing else tracer.disable()
+        if slow_query_s is None:
+            slow_query_s = threshold_from_env()
+        self.slow_log: Optional[SlowQueryLog] = None
+        if slow_query_s is not None:
+            log_path: Optional[PathLike] = (
+                slow_query_log if slow_query_log is not None else path_from_env()
+            )
+            if log_path is None:
+                root = Path(directory) if directory is not None else Path(".")
+                log_path = root / DEFAULT_LOG_NAME
+            self.slow_log = SlowQueryLog(slow_query_s, log_path)
 
     # -- point clouds ------------------------------------------------------------
 
@@ -114,7 +144,29 @@ class PointCloudDB:
                 self.db.table(name), manager=self.manager, threads=self.threads
             )
             self._selects[name] = select
-        return select.query(geometry, predicate, distance, **kwargs)
+        if self.slow_log is None:
+            return select.query(geometry, predicate, distance, **kwargs)
+        env = geometry_envelope(geometry)
+        with self.slow_log.observe(
+            "spatial",
+            table=name,
+            predicate=predicate,
+            bbox=[env.xmin, env.ymin, env.xmax, env.ymax],
+        ) as observation:
+            result = select.query(geometry, predicate, distance, **kwargs)
+            observation.set(
+                rows=len(result),
+                stats={
+                    "filter_seconds": result.stats.filter_seconds,
+                    "refine_seconds": result.stats.refine_seconds,
+                    "imprint_build_seconds": result.stats.imprint_build_seconds,
+                    "n_filter_candidates": result.stats.n_filter_candidates,
+                    "n_segments_skipped": result.stats.n_segments_skipped,
+                    "n_segments_probed": result.stats.n_segments_probed,
+                },
+                resources=result.stats.resources.to_dict(),
+            )
+        return result
 
     # -- SQL ---------------------------------------------------------------------------
 
@@ -142,7 +194,18 @@ class PointCloudDB:
 
     def sql(self, query: str) -> Result:
         """Run a SQL query over the point clouds and vector relations."""
-        return self._session().execute(query)
+        session = self._session()
+        if self.slow_log is None:
+            return session.execute(query)
+        with self.slow_log.observe("sql", sql=query.strip()) as observation:
+            result = session.execute(query)
+            usage = session.last_resources
+            observation.set(
+                rows=len(result.rows),
+                profile=dict(session.last_profile),
+                resources=usage.to_dict() if usage is not None else None,
+            )
+        return result
 
     def explain(self, query: str) -> str:
         """The query's plan as text (which indexes it would use)."""

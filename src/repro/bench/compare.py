@@ -36,6 +36,34 @@ def load_timings(path) -> Dict[Tuple[str, int], float]:
     return timings
 
 
+def load_metrics(path) -> Dict[str, set]:
+    """Metric names per kind from a report's embedded metrics snapshot.
+
+    Old reports (before snapshots were embedded) simply yield empty
+    sets — a missing section is not an error.
+    """
+    payload = json.loads(Path(path).read_text())
+    metrics = payload.get("metrics", {}) or {}
+    return {
+        kind: set(metrics.get(kind, {}) or {})
+        for kind in ("counters", "gauges", "histograms")
+    }
+
+
+def diff_metrics(
+    baseline: Dict[str, set], current: Dict[str, set]
+) -> Dict[str, List[str]]:
+    """``{"added": [...], "removed": [...]}`` of metric names between two
+    snapshots.  Informational only: instrumentation legitimately grows
+    and shrinks between commits, so this never gates the exit code."""
+    base_names = set().union(*baseline.values()) if baseline else set()
+    cur_names = set().union(*current.values()) if current else set()
+    return {
+        "added": sorted(cur_names - base_names),
+        "removed": sorted(base_names - cur_names),
+    }
+
+
 def compare(
     baseline: Dict[Tuple[str, int], float],
     current: Dict[Tuple[str, int], float],
@@ -102,6 +130,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     rows = compare(baseline, current, threshold=args.threshold)
     for row in rows:
         print(format_row(row))
+    metric_diff = diff_metrics(
+        load_metrics(args.baseline), load_metrics(args.current)
+    )
+    for name in metric_diff["added"]:
+        print(f"metric added:   {name}")
+    for name in metric_diff["removed"]:
+        print(f"metric removed: {name}")
     regressions = [row for row in rows if row["regressed"]]
     print(
         f"{len(rows)} cells compared, {len(regressions)} regressed "

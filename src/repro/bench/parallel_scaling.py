@@ -19,6 +19,7 @@ import numpy as np
 
 from ..engine.parallel import hardware_threads
 from ..obs.metrics import get_registry
+from ..obs.resources import ResourceTracker
 from .harness import best_of
 
 DEFAULT_THREADS = (1, 2, 4, 8)
@@ -52,11 +53,25 @@ def sweep(
 ) -> List[Dict[str, object]]:
     """Time ``run_query(threads)`` at each thread count (best of
     ``repeats``) and annotate each row with the speedup vs the first
-    (serial) entry."""
+    (serial) entry.
+
+    Each row also embeds the cell's resource attribution (CPU seconds
+    incl. morsel workers, rows/bytes touched — summed over the repeats),
+    so a scaling report shows not just that 4 threads were 3x faster but
+    that they burned the same CPU doing it.
+    """
     rows: List[Dict[str, object]] = []
     for threads in thread_counts:
-        seconds = best_of(lambda: run_query(threads), repeats)
-        rows.append({"threads": threads, "seconds": seconds})
+        tracker = ResourceTracker()
+        with tracker:
+            seconds = best_of(lambda: run_query(threads), repeats)
+        rows.append(
+            {
+                "threads": threads,
+                "seconds": seconds,
+                "resources": tracker.usage.to_dict(),
+            }
+        )
     base = rows[0]["seconds"]
     for row in rows:
         row["speedup"] = (base / row["seconds"]) if row["seconds"] > 0 else 0.0

@@ -13,6 +13,8 @@ library gets a CLI instead::
     repro-gis sort tile.las sorted.las --curve hilbert      # lassort
     repro-gis index tiles/                                  # lasindex
     repro-gis render tiles/ out.ppm                         # figure 1 style
+    repro-gis serve-metrics farm/ --port 9464               # OpenMetrics endpoint
+    repro-gis slowlog farm/slow-query.jsonl                 # slow-query records
     repro-gis check [--format json]                         # invariant linter
 
 Every subcommand is a thin shell over the library; the functions return
@@ -355,6 +357,57 @@ def _cmd_elevation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    from .obs.server import TelemetryServer
+
+    health = None
+    if args.db:
+        db = _open_db(args.db, threads=args.threads)
+
+        def health():
+            return {
+                "tables": {
+                    name: len(db.table(name)) for name in db.db.table_names
+                }
+            }
+
+    server = TelemetryServer(host=args.host, port=args.port, health=health)
+    server.start()
+    print(
+        f"serving OpenMetrics on {server.url}/metrics "
+        f"(also /healthz, /debug/trace)",
+        flush=True,
+    )
+    try:
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            while True:  # pragma: no cover - interactive serve loop
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_slowlog(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.slowlog import format_record, read_records
+
+    records = read_records(args.log)
+    if args.last:
+        records = records[-args.last :]
+    for record in records:
+        if args.json:
+            print(json.dumps(record))
+        else:
+            print(format_record(record))
+    print(f"({len(records)} slow queries)", file=sys.stderr)
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis.main import main as check_main
 
@@ -531,6 +584,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_elevation)
 
     p = sub.add_parser(
+        "serve-metrics",
+        help="serve the metrics registry over HTTP "
+        "(/metrics OpenMetrics, /healthz, /debug/trace)",
+    )
+    p.add_argument(
+        "db",
+        nargs="?",
+        default=None,
+        help="optional database directory; loading it makes /healthz "
+        "report per-table row counts",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: $REPRO_METRICS_PORT or 9464; 0 = any free)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="serve for S seconds then exit (default: until interrupted)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="worker threads for the loaded database",
+    )
+    p.set_defaults(fn=_cmd_serve_metrics)
+
+    p = sub.add_parser(
+        "slowlog", help="pretty-print a slow-query JSONL log"
+    )
+    p.add_argument("log", help="slow-query .jsonl file")
+    p.add_argument(
+        "--last", type=int, default=None, metavar="N", help="only the last N"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="raw JSONL instead of trees"
+    )
+    p.set_defaults(fn=_cmd_slowlog)
+
+    p = sub.add_parser(
         "check",
         help="repro-check: AST-based invariant linter (durable writes, "
         "crash transparency, lock discipline, struct formats, span "
@@ -548,6 +647,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
+    # Arm the crash flight recorder: an unhandled exception (anything the
+    # handler below does not catch) or a SIGTERM leaves a post-mortem
+    # JSON dump behind.  Idempotent across repeated main() calls.
+    from .obs.flight import get_flight_recorder
+
+    recorder = get_flight_recorder()
+    recorder.install()
+    recorder.note("cli.start", argv=list(argv))
     if argv[:1] == ["check"]:
         # Dispatch before argparse: REMAINDER mis-parses a remainder that
         # starts with an option (`check --format json`, bpo-17050), so the

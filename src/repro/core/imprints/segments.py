@@ -31,6 +31,7 @@ from numpy.typing import NDArray
 
 from ...engine.column import Column
 from ...engine.parallel import run_tasks
+from ...obs import resources
 from . import bitvec, dictionary
 from .histogram import DEFAULT_SAMPLE, MAX_BINS, BinScheme, build_bins
 from .index import ImprintStats
@@ -362,6 +363,16 @@ class SegmentedImprints:
         if stats is not None:
             stats.n_segments_probed += len(probe_segments)
             stats.n_segments_skipped += len(verdicts) - len(probe_segments)
+        tracker = resources.current()
+        if tracker is not None and probe_segments:
+            # Only probed segments' data is read; zone-map skips and
+            # wholesale accepts cost zero data access (the paper's point),
+            # and the attribution reflects that.
+            probe_rows = sum(seg.stop - seg.start for seg in probe_segments)
+            tracker.add_touched(
+                rows=int(probe_rows),
+                nbytes=int(probe_rows * values.itemsize),
+            )
         probed = run_tasks(
             lambda seg: self._probe(values, seg, lo, hi, lo_inclusive, hi_inclusive),
             probe_segments,

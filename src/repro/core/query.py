@@ -28,6 +28,7 @@ from ..engine.table import Table
 from ..gis.envelope import Box
 from ..gis.predicates import geometry_envelope, points_satisfy
 from ..obs.metrics import get_registry
+from ..obs.resources import ResourceTracker, ResourceUsage
 from ..obs.timing import now
 from ..obs.trace import maybe_span
 from .grid import DEFAULT_TARGET_CELLS
@@ -62,6 +63,9 @@ class QueryStats:
     #: Imprint segments that paid a probe + exact candidate verification.
     n_segments_probed: int = 0
     refine_stats: RefineStats = field(default_factory=RefineStats)
+    #: What the query *consumed* (CPU seconds incl. morsel workers, peak
+    #: allocations, rows/bytes touched) — see :mod:`repro.obs.resources`.
+    resources: ResourceUsage = field(default_factory=ResourceUsage)
 
     @property
     def total_seconds(self) -> float:
@@ -212,6 +216,39 @@ class SpatialSelect:
                 oids=np.empty(0, dtype=np.int64),
                 stats=QueryStats(n_rows=0, used_imprints=use_imprints),
             )
+        # The tracker accumulates this thread's CPU at exit and receives
+        # worker CPU / scan volumes from run_tasks and the select
+        # operators while open; the histogram is observed after exit,
+        # once the caller-thread delta has landed.
+        tracker = ResourceTracker()
+        with tracker:
+            result = self._query_traced(
+                geometry,
+                predicate,
+                distance,
+                use_imprints,
+                use_grid,
+                z_column,
+                z_range,
+                threads,
+            )
+        result.stats.resources = tracker.usage
+        get_registry().histogram("query.cpu_seconds").observe(
+            tracker.usage.cpu_seconds
+        )
+        return result
+
+    def _query_traced(
+        self,
+        geometry,
+        predicate: str,
+        distance: float,
+        use_imprints: bool,
+        use_grid: bool,
+        z_column: Optional[str],
+        z_range: Optional[tuple],
+        threads: Optional[int],
+    ) -> QueryResult:
         with maybe_span(
             "query.spatial", table=self.table.name, predicate=predicate
         ) as query_span:

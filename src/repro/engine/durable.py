@@ -152,6 +152,29 @@ def atomic_write_text(path: PathLike, text: str, label: str = "file") -> int:
     return atomic_write_bytes(path, text.encode("utf-8"), label=label)
 
 
+def atomic_append_text(path: PathLike, text: str, label: str = "log") -> int:
+    """Durably append UTF-8 ``text`` to a log file; returns bytes written.
+
+    Append is the one write shape rename-based atomicity cannot give
+    (replacing the whole log per record would be O(n²) in log size), so
+    the contract here is weaker and explicitly line-oriented: the bytes
+    are flushed and fsynced before returning, and a crash mid-append
+    tears at most the *final line* — which is why the slow-query log is
+    JSONL and its readers skip unparseable trailing lines.  Goes through
+    the :data:`_open` patch point so the fault harness can tear appends
+    at byte N like any other write.
+    """
+    path = Path(path)
+    data = text.encode("utf-8")
+    crash_point(f"durable.{label}.append_begin", path=str(path))
+    with _open(path, "ab") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    crash_point(f"durable.{label}.appended", path=str(path))
+    return len(data)
+
+
 # -- checksums --------------------------------------------------------------
 
 

@@ -27,6 +27,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from ..obs import resources as _resources
 from ..obs import trace as _trace
 from ..obs.metrics import get_registry
 
@@ -126,6 +127,10 @@ def run_tasks(
     tracer = _trace.get_tracer()
     recording = tracer.enabled
     parent = tracer.current() if recording else None
+    # Same hand-over as the span parent: worker threads have their own
+    # (empty) tracker stacks, so the caller's active resource tracker is
+    # captured here and credited explicitly from each worker.
+    tracker = _resources.current()
     if recording and tasks:
         get_registry().counter("parallel.tasks").inc(len(tasks))
 
@@ -137,6 +142,9 @@ def run_tasks(
         return fn(tasks[i])
 
     if n_workers <= 1:
+        # Serial path: the tasks run on the caller's thread, whose CPU
+        # the tracker already measures — adding it again would double
+        # count, so no attribution here.
         return [run_one(i) for i in range(len(tasks))]
 
     results: List[R] = [None] * len(tasks)  # type: ignore[list-item]
@@ -146,7 +154,17 @@ def run_tasks(
 
     def worker() -> None:
         # Morsel-driven: each worker pulls the next unclaimed task until
-        # the queue drains, so skewed task costs self-balance.
+        # the queue drains, so skewed task costs self-balance.  One CPU
+        # reading per worker (not per task): thread_time is a syscall,
+        # and the delta over the whole drain is the same sum.
+        cpu0 = _resources.thread_cpu() if tracker is not None else 0.0
+        try:
+            _drain()
+        finally:
+            if tracker is not None:
+                tracker.add_cpu(_resources.thread_cpu() - cpu0)
+
+    def _drain() -> None:
         while True:
             with cursor_lock:
                 if errors:

@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 import numpy as np
 from numpy.typing import NDArray
 
+from ..obs import resources
 from ..obs.trace import maybe_span
 from . import parallel
 from .column import Column
@@ -37,6 +38,20 @@ def _as_candidates(mask: NDArray[Any], candidates: Optional[NDArray[Any]]) -> ND
     if candidates is None:
         return hits.astype(np.int64)
     return candidates[hits]
+
+
+def _account_touched(vals: NDArray[Any]) -> None:
+    """Credit a scan's actual data volume to the active resource tracker.
+
+    Post-candidate-list, so an imprint-filtered select reports the small
+    read the index earned it, not the column size.  One thread-local
+    read when no tracker is open.
+    """
+    tracker = resources.current()
+    if tracker is not None:
+        tracker.add_touched(
+            rows=int(vals.shape[0]), nbytes=int(vals.nbytes)
+        )
 
 
 def _morsel_mask(
@@ -83,6 +98,7 @@ def theta_select(
         raise ValueError(f"unknown theta operator {op!r}") from None
     with maybe_span("select.theta", column=column.name, op=op) as span:
         vals = column.values if candidates is None else column.take(candidates)
+        _account_touched(vals)
         mask = _morsel_mask(vals, lambda part: fn(part, constant), threads)
         result = _as_candidates(mask, candidates)
         span.set(rows_in=int(vals.shape[0]), rows_out=int(result.shape[0]))
@@ -108,6 +124,7 @@ def range_select(
     """
     with maybe_span("select.range", column=column.name) as span:
         vals = column.values if candidates is None else column.take(candidates)
+        _account_touched(vals)
 
         def kernel(part: NDArray[Any]) -> NDArray[Any]:
             mask = np.ones(part.shape[0], dtype=bool)

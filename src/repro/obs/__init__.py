@@ -1,10 +1,13 @@
-"""Observability: span tracing, metrics, and trace exporters.
+"""Observability: span tracing, metrics, exporters, and telemetry.
 
-The measurement layer under ``EXPLAIN ANALYZE``, ``repro-gis trace``
-and the bench harness's metrics snapshots.  See
+The measurement layer under ``EXPLAIN ANALYZE``, ``repro-gis trace``,
+``repro-gis serve-metrics`` and the bench harness's metrics snapshots:
+spans and metrics feed an OpenMetrics endpoint, a slow-query log,
+per-query resource attribution and a crash flight recorder.  See
 ``docs/observability.md`` for the span model and metric names.
 """
 
+from .flight import FLIGHT_DIR_ENV, FlightRecorder, get_flight_recorder
 from .metrics import (
     LATENCY_BUCKETS_S,
     Counter,
@@ -12,6 +15,18 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+)
+from .openmetrics import CONTENT_TYPE as OPENMETRICS_CONTENT_TYPE
+from .openmetrics import render as render_openmetrics
+from .resources import ResourceTracker, ResourceUsage
+from .resources import current as current_resource_tracker
+from .server import METRICS_PORT_ENV, TelemetryServer
+from .slowlog import (
+    SLOW_QUERY_ENV,
+    SLOW_QUERY_LOG_ENV,
+    SlowQueryLog,
+    format_record,
+    read_records,
 )
 from .trace import (
     TRACE_ENV,
@@ -27,19 +42,33 @@ from .trace import (
 )
 
 __all__ = [
+    "FLIGHT_DIR_ENV",
+    "METRICS_PORT_ENV",
+    "OPENMETRICS_CONTENT_TYPE",
+    "SLOW_QUERY_ENV",
+    "SLOW_QUERY_LOG_ENV",
     "TRACE_ENV",
     "LATENCY_BUCKETS_S",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ResourceTracker",
+    "ResourceUsage",
+    "SlowQueryLog",
     "Span",
+    "TelemetryServer",
     "Tracer",
+    "current_resource_tracker",
+    "format_record",
     "format_tree",
     "from_json",
+    "get_flight_recorder",
     "get_registry",
     "get_tracer",
     "maybe_span",
+    "render_openmetrics",
     "to_chrome",
     "to_json",
     "traced",

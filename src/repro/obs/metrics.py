@@ -251,6 +251,13 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def instruments(self) -> Dict[str, Metric]:
+        """Name -> instrument snapshot of the registry (a shallow copy;
+        the instruments themselves are the live, thread-safe objects).
+        This is what the OpenMetrics renderer iterates."""
+        with self._lock:
+            return dict(self._metrics)
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """All instruments as one JSON-friendly dict, grouped by kind."""
         with self._lock:

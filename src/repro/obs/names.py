@@ -21,27 +21,36 @@ COUNTERS: FrozenSet[str] = frozenset(
         "durability.quarantines",
         "durability.retries",
         "durability.rolled_back_rows",
+        "flight.dumps",
         "imprints.builds",
         "imprints.segment_builds",
         "load.files",
         "load.points",
         "load.tiles_skipped",
+        "obs.http_requests",
         "parallel.tasks",
         "query.count",
         "query.segments_probed",
         "query.segments_skipped",
+        "slowlog.records",
         "sql.queries",
+        "trace.spans_dropped",
     }
 )
 
-#: Point-in-time values (none emitted by the engine yet).
-GAUGES: FrozenSet[str] = frozenset()
+#: Point-in-time values.
+GAUGES: FrozenSet[str] = frozenset(
+    {
+        "obs.server_up",
+    }
+)
 
 #: Latency / size distributions.
 HISTOGRAMS: FrozenSet[str] = frozenset(
     {
         "imprints.build_seconds",
         "load.seconds",
+        "query.cpu_seconds",
         "query.filter_seconds",
         "query.refine_seconds",
         "query.total_seconds",

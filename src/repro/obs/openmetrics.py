@@ -1,0 +1,145 @@
+"""OpenMetrics / Prometheus text exposition of the metrics registry.
+
+Renders every instrument in a :class:`~repro.obs.metrics.MetricsRegistry`
+in the `OpenMetrics text format
+<https://github.com/OpenObservability/OpenMetrics>`_, the wire format
+Prometheus-style scrapers consume:
+
+* counters expose one ``<name>_total`` sample,
+* gauges expose one ``<name>`` sample,
+* histograms expose **cumulative** ``<name>_bucket{le="..."}`` series
+  (the registry stores per-bucket counts; the renderer accumulates),
+  a ``+Inf`` bucket, ``_sum`` and ``_count``,
+
+and the exposition ends with the mandatory ``# EOF`` line.  Dotted
+registry names (``query.total_seconds``) become underscore names
+(``query_total_seconds``); a ``repro_info`` metric carries the package
+version and Python runtime as (escaped) labels.
+
+Everything here is pure string building — the HTTP side lives in
+:mod:`repro.obs.server`, and tests parse the text back to prove the
+format round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+import platform
+import re
+from typing import Dict, List, Mapping, Optional, Tuple, cast
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+#: The content type a conformant scraper negotiates for this format.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """A registry name as a legal exposition metric name.
+
+    Dots (and anything else outside ``[a-zA-Z0-9_:]``) collapse to
+    underscores; a leading digit gets a ``_`` prefix.  The mapping keeps
+    distinct dotted names distinct for every name the engine declares.
+    """
+    candidate = _NAME_BAD_CHARS.sub("_", name)
+    if not candidate or not _NAME_OK.match(candidate):
+        candidate = "_" + candidate
+    return candidate
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote and newline must be escaped, everything else passes through."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def format_value(value: float) -> str:
+    """A sample value as exposition text (integers without a dot,
+    infinities as ``+Inf``/``-Inf``)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in pairs.items()
+    )
+    return "{" + inner + "}"
+
+
+def _info_lines() -> List[str]:
+    from .. import __version__
+
+    labels = _labels(
+        {
+            "version": __version__,
+            "python": platform.python_version(),
+        }
+    )
+    return ["# TYPE repro info", f"repro_info{labels} 1"]
+
+
+def _counter_lines(name: str, counter: Counter) -> List[str]:
+    exp = metric_name(name)
+    return [
+        f"# TYPE {exp} counter",
+        f"{exp}_total {format_value(float(counter.value))}",
+    ]
+
+
+def _gauge_lines(name: str, gauge: Gauge) -> List[str]:
+    exp = metric_name(name)
+    return [f"# TYPE {exp} gauge", f"{exp} {format_value(gauge.value)}"]
+
+
+def _histogram_lines(name: str, histogram: Histogram) -> List[str]:
+    exp = metric_name(name)
+    snapshot = histogram.snapshot()
+    lines = [f"# TYPE {exp} histogram"]
+    cumulative = 0
+    buckets = cast(List[Dict[str, object]], snapshot["buckets"])
+    for bucket in buckets:
+        cumulative += int(cast(int, bucket["count"]))
+        le = bucket["le"]
+        edge = "+Inf" if le is None else format_value(cast(float, le))
+        lines.append(f'{exp}_bucket{{le="{edge}"}} {cumulative}')
+    lines.append(f"{exp}_sum {format_value(cast(float, snapshot['sum']))}")
+    lines.append(f"{exp}_count {cast(int, snapshot['count'])}")
+    return lines
+
+
+def render(registry: Optional[MetricsRegistry] = None) -> str:
+    """The whole registry as one OpenMetrics exposition (``# EOF``
+    terminated).  Families render in sorted name order so two scrapes of
+    an unchanged registry are byte-identical."""
+    if registry is None:
+        registry = get_registry()
+    families: List[Tuple[str, List[str]]] = []
+    metrics = registry.instruments()
+    for name in sorted(metrics):
+        metric = metrics[name]
+        if isinstance(metric, Counter):
+            families.append((name, _counter_lines(name, metric)))
+        elif isinstance(metric, Gauge):
+            families.append((name, _gauge_lines(name, metric)))
+        elif isinstance(metric, Histogram):
+            families.append((name, _histogram_lines(name, metric)))
+    lines: List[str] = []
+    for _name, family in families:
+        lines.extend(family)
+    lines.extend(_info_lines())
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,224 @@
+"""Zero-dependency telemetry endpoint over ``http.server``.
+
+The ROADMAP's north star is a long-running service, and a service you
+cannot scrape is a service you cannot operate.  :class:`TelemetryServer`
+binds a threaded stdlib HTTP server on a daemon thread and exposes the
+process's observability state:
+
+``/metrics``
+    The full registry in OpenMetrics text format
+    (:mod:`repro.obs.openmetrics`), histogram buckets included.
+``/healthz``
+    ``200`` with a small JSON document: ``{"status": "ok"}`` plus
+    whatever the optional ``health`` callback contributes (table row
+    counts, for the CLI).  A callback that raises turns the response
+    into a ``500`` — an unhealthy process should *fail* its probe, not
+    lie on it.
+``/debug/trace``
+    The last-N traces from the tracer's ring buffer as plain JSON span
+    records (``?last=N``, default 10) — the span dump you would
+    otherwise need shell access and ``repro-gis trace`` for.
+
+Every request increments the ``obs.http_requests`` counter; the
+``obs.server_up`` gauge is 1 while the server is bound.  Start it from
+the CLI (``repro-gis serve-metrics --port``), or embed it::
+
+    server = TelemetryServer(port=0)   # 0 = any free port
+    server.start()
+    ... print(server.url) ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from .metrics import MetricsRegistry, get_registry
+from .openmetrics import CONTENT_TYPE, render
+from .trace import Tracer, get_tracer, span_to_dict
+
+#: Environment override for the default port (the CLI and embedders
+#: resolve through :func:`resolve_port`).
+METRICS_PORT_ENV = "REPRO_METRICS_PORT"
+
+#: Default port, in the conventional Prometheus-exporter range.
+DEFAULT_PORT = 9464
+
+#: Default span count for /debug/trace when ?last= is absent.
+DEFAULT_TRACE_LAST = 10
+
+HealthCallback = Callable[[], Dict[str, object]]
+
+
+def resolve_port(port: Optional[int]) -> int:
+    """An explicit port wins; else ``REPRO_METRICS_PORT``; else 9464."""
+    if port is not None:
+        return int(port)
+    env = os.environ.get(METRICS_PORT_ENV, "").strip()
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return DEFAULT_PORT
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the server instance rides on ``self.server``."""
+
+    # Quiet by default: request logging belongs to metrics, not stderr.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        return
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's naming
+        server = self.server
+        assert isinstance(server, _TelemetryHTTPServer)
+        server.owner.registry.counter("obs.http_requests").inc()
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/metrics":
+            self._respond(200, CONTENT_TYPE, render(server.owner.registry))
+        elif route == "/healthz":
+            self._healthz(server)
+        elif route == "/debug/trace":
+            self._debug_trace(server, parsed.query)
+        else:
+            self._respond(
+                404,
+                "text/plain; charset=utf-8",
+                "not found; routes: /metrics /healthz /debug/trace\n",
+            )
+
+    def _healthz(self, server: "_TelemetryHTTPServer") -> None:
+        payload: Dict[str, object] = {"status": "ok"}
+        health = server.owner.health
+        if health is not None:
+            try:
+                payload.update(health())
+            except Exception as exc:
+                self._respond(
+                    500,
+                    "application/json; charset=utf-8",
+                    json.dumps({"status": "error", "error": str(exc)}) + "\n",
+                )
+                return
+        self._respond(
+            200, "application/json; charset=utf-8", json.dumps(payload) + "\n"
+        )
+
+    def _debug_trace(self, server: "_TelemetryHTTPServer", query: str) -> None:
+        params = parse_qs(query)
+        try:
+            last = int(params.get("last", [str(DEFAULT_TRACE_LAST)])[0])
+        except ValueError:
+            self._respond(
+                400, "text/plain; charset=utf-8", "last must be an integer\n"
+            )
+            return
+        spans = server.owner.tracer.last_traces(max(0, last))
+        body = json.dumps([span_to_dict(span) for span in spans]) + "\n"
+        self._respond(200, "application/json; charset=utf-8", body)
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    """The stdlib server plus a back-pointer to its owner."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], owner: "TelemetryServer") -> None:
+        super().__init__(address, _Handler)
+        self.owner = owner
+
+
+class TelemetryServer:
+    """The process's telemetry endpoint, served from a daemon thread.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=None`` resolves via ``REPRO_METRICS_PORT``
+        then the default (9464); ``port=0`` asks the OS for a free port
+        (read the chosen one back from :attr:`port` after ``start``).
+    registry, tracer:
+        Default to the process-wide singletons.
+    health:
+        Optional callback contributing fields to the ``/healthz`` body.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        health: Optional[HealthCallback] = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = resolve_port(port) if port != 0 else 0
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.health = health
+        self._server: Optional[_TelemetryHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the OS's choice when constructed with 0)."""
+        if self._server is not None:
+            return int(self._server.server_address[1])
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve on a daemon thread; returns self (chainable)."""
+        if self._server is not None:
+            return self
+        self._server = _TelemetryHTTPServer(
+            (self.host, self._requested_port), self
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        self.registry.gauge("obs.server_up").set(1.0)
+        return self
+
+    def stop(self) -> None:
+        """Shut down the server and release the socket (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server, self._thread = None, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self.registry.gauge("obs.server_up").set(0.0)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False

@@ -239,10 +239,24 @@ class Tracer:
         return Span(self, name, parent=parent, attributes=attributes)
 
     def _finish(self, span: Span) -> None:
+        dropped = False
         with self._lock:
+            if (
+                self._buffer.maxlen is not None
+                and len(self._buffer) == self._buffer.maxlen
+            ):
+                dropped = True  # the append below evicts the oldest span
             self._buffer.append(span)
             for sink in self._captures:
                 sink.append(span)
+        if dropped:
+            # Counted outside the tracer lock: the counter has a lock of
+            # its own, and nesting the two would pin a lock order for no
+            # benefit.  Lazy import keeps span finish free of metrics
+            # machinery until a drop actually happens.
+            from .metrics import get_registry
+
+            get_registry().counter("trace.spans_dropped").inc()
 
     @contextmanager
     def capture(self) -> Iterator[List[Span]]:
@@ -399,10 +413,36 @@ def from_json(text: str) -> List[Span]:
 def to_chrome(spans: Iterable[Span]) -> str:
     """Spans in Chrome trace-event format (the ``chrome://tracing`` /
     Perfetto JSON schema): complete events (``ph: "X"``) with
-    microsecond timestamps and the attributes under ``args``."""
+    microsecond timestamps and the attributes under ``args``.
+
+    Thread-name metadata events (``ph: "M"``) lead the stream so
+    Perfetto labels each track ``MainThread`` / ``repro-worker-N``
+    instead of a bare thread id."""
     pid = os.getpid()
-    events: List[Dict[str, object]] = []
-    for span in spans:
+    span_list = list(spans)
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": "repro-gis"},
+        }
+    ]
+    thread_names: Dict[int, str] = {}
+    for span in span_list:
+        if span.thread_id and span.thread_name:
+            thread_names.setdefault(span.thread_id, span.thread_name)
+    for tid in sorted(thread_names):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_names[tid]},
+            }
+        )
+    for span in span_list:
         events.append(
             {
                 "name": span.name,

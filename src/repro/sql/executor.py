@@ -29,6 +29,7 @@ from ..core.query import SpatialSelect
 from ..engine.table import Table
 from ..gis.geometry import Geometry
 from ..obs.metrics import get_registry
+from ..obs.resources import ResourceTracker, ResourceUsage
 from ..obs.timing import now
 from ..obs.trace import format_tree, get_tracer, maybe_span
 from . import ast
@@ -129,6 +130,9 @@ class Session:
         #: Per-phase wall-clock seconds of the most recent execute() —
         #: the demo's "execution time spent in each operator" view.
         self.last_profile: Dict[str, float] = {}
+        #: Resource attribution (CPU, allocations, data touched) of the
+        #: most recent execute(); None before the first query.
+        self.last_resources: Optional[ResourceUsage] = None
 
     # -- registration ---------------------------------------------------------------
 
@@ -216,7 +220,11 @@ class Session:
                 columns=["plan"], rows=[(line,) for line in text.splitlines()]
             )
 
-        with maybe_span("sql.query", sql=sql.strip()) as query_span:
+        # The tracker nests inside any caller's tracker (the spatial
+        # sub-query's own tracker nests inside this one in turn), so the
+        # SQL statement's attribution includes its index probes.
+        tracker = ResourceTracker()
+        with tracker, maybe_span("sql.query", sql=sql.strip()) as query_span:
             t0 = now()
             with maybe_span("sql.parse"):
                 select = parse(sql)
@@ -224,6 +232,7 @@ class Session:
             result, t_join = self._run_profiled(select)
             t2 = now()
             query_span.set(rows_out=len(result.rows))
+        self.last_resources = tracker.usage
         self.last_profile = {
             "parse": t1 - t0,
             "join_filter": t_join,
@@ -294,7 +303,19 @@ class Session:
             trace_id = roots[-1].trace_id
             spans = [s for s in spans if s.trace_id == trace_id]
         tree = format_tree(spans)
-        footer = f"rows returned: {len(result.rows)}"
+        footer = ""
+        usage = self.last_resources
+        if usage is not None:
+            footer = (
+                f"cpu: {usage.cpu_seconds * 1e3:.3f} ms"
+                f" (workers {usage.worker_cpu_seconds * 1e3:.3f} ms)"
+                f"; touched: {usage.rows_touched} rows"
+                f" / {usage.bytes_touched} bytes"
+            )
+            if usage.peak_alloc_bytes is not None:
+                footer += f"; peak alloc: {usage.peak_alloc_bytes} bytes"
+            footer += "\n"
+        footer += f"rows returned: {len(result.rows)}"
         return tree + ("\n" if tree else "") + footer
 
 

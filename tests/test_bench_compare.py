@@ -4,10 +4,16 @@ import json
 
 import pytest
 
-from repro.bench.compare import compare, load_timings, main
+from repro.bench.compare import (
+    compare,
+    diff_metrics,
+    load_metrics,
+    load_timings,
+    main,
+)
 
 
-def _report(path, seconds_by_query):
+def _report(path, seconds_by_query, metrics=None):
     payload = {
         "experiment": "thread_scaling",
         "queries": [
@@ -21,6 +27,8 @@ def _report(path, seconds_by_query):
             for name, timings in seconds_by_query.items()
         ],
     }
+    if metrics is not None:
+        payload["metrics"] = metrics
     path.write_text(json.dumps(payload))
     return path
 
@@ -95,3 +103,47 @@ class TestMain:
         other = _report(tmp_path / "other.json", {"q": {1: 1.0}})
         assert main([str(empty), str(other)]) == 2
         assert main([str(empty), str(other), "--soft"]) == 0
+
+
+class TestMetricsDiff:
+    def test_load_metrics_tolerates_missing_section(self, tmp_path):
+        report = _report(tmp_path / "old.json", {"q": {1: 1.0}})
+        loaded = load_metrics(report)
+        assert loaded == {"counters": set(), "gauges": set(), "histograms": set()}
+
+    def test_load_metrics_reads_names_per_kind(self, tmp_path):
+        report = _report(
+            tmp_path / "new.json",
+            {"q": {1: 1.0}},
+            metrics={
+                "counters": {"sql.queries": 3},
+                "gauges": {"obs.server_up": 1.0},
+                "histograms": {"query.cpu_seconds": {"count": 2}},
+            },
+        )
+        loaded = load_metrics(report)
+        assert loaded["counters"] == {"sql.queries"}
+        assert loaded["gauges"] == {"obs.server_up"}
+        assert loaded["histograms"] == {"query.cpu_seconds"}
+
+    def test_diff_reports_added_and_removed(self):
+        baseline = {"counters": {"a", "b"}, "gauges": set(), "histograms": set()}
+        current = {"counters": {"b", "c"}, "gauges": {"d"}, "histograms": set()}
+        diff = diff_metrics(baseline, current)
+        assert diff == {"added": ["c", "d"], "removed": ["a"]}
+
+    def test_main_prints_metric_diff_without_gating(self, tmp_path, capsys):
+        baseline = _report(
+            tmp_path / "baseline.json",
+            {"q": {1: 0.010}},
+            metrics={"counters": {"old.counter": 1}},
+        )
+        current = _report(
+            tmp_path / "current.json",
+            {"q": {1: 0.010}},
+            metrics={"counters": {"new.counter": 1}},
+        )
+        assert main([str(baseline), str(current)]) == 0
+        out = capsys.readouterr().out
+        assert "metric added:   new.counter" in out
+        assert "metric removed: old.counter" in out

@@ -205,8 +205,10 @@ class TestTrace:
         get_tracer().disable()
         assert code == 0
         payload = json.loads(out_path.read_text())
-        events = payload["traceEvents"]
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
         assert events
+        assert any(e["name"] == "thread_name" for e in metadata)
         names = {event["name"] for event in events}
         assert "sql.query" in names
         for event in events:
@@ -243,6 +245,88 @@ class TestTrace:
     def test_trace_needs_a_query(self, db_dir, capsys):
         assert main(["trace", str(db_dir)]) == 1
         assert "--sql or --wkt" in capsys.readouterr().err
+
+
+class TestServeMetrics:
+    def test_serves_and_exits_after_deadline(self, db_dir, capsys):
+        import json
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    [
+                        "serve-metrics",
+                        str(db_dir),
+                        "--port",
+                        "0",
+                        "--for-seconds",
+                        "3",
+                    ]
+                )
+            )
+        )
+        thread.start()
+        # The command prints its URL (OS-picked port) before sleeping.
+        printed, base = "", None
+        for _ in range(100):
+            printed += capsys.readouterr().out
+            match = re.search(r"http://[\d.]+:\d+", printed)
+            if match:
+                base = match.group(0)
+                break
+            time.sleep(0.05)
+        assert base is not None, f"no URL printed: {printed!r}"
+        with urllib.request.urlopen(base + "/metrics", timeout=5) as response:
+            metrics = response.read().decode("utf-8")
+        with urllib.request.urlopen(base + "/healthz", timeout=5) as response:
+            healthz = json.loads(response.read())
+        thread.join(timeout=30)
+        assert codes == [0]
+        assert metrics.endswith("# EOF\n")
+        assert "repro_info" in metrics
+        assert "obs_http_requests_total" in metrics
+        assert healthz["status"] == "ok"
+        assert healthz["tables"] == {"points": 5000}
+
+
+class TestSlowlogCommand:
+    @pytest.fixture
+    def log_path(self, db_dir, tmp_path):
+        from repro.api import PointCloudDB
+        from repro.obs.slowlog import SlowQueryLog
+
+        db = PointCloudDB.load(db_dir)
+        path = tmp_path / "slow.jsonl"
+        db.slow_log = SlowQueryLog(0.0, path)
+        db.sql("SELECT count(*) FROM points WHERE z > 2")
+        return path
+
+    def test_pretty_output(self, log_path, capsys):
+        assert main(["slowlog", str(log_path)]) == 0
+        captured = capsys.readouterr()
+        assert "sql took" in captured.out
+        assert "SELECT count(*) FROM points" in captured.out
+        assert "sql.query" in captured.out  # the span tree
+        assert "(1 slow queries)" in captured.err
+
+    def test_json_output(self, log_path, capsys):
+        import json
+
+        assert main(["slowlog", str(log_path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == "sql"
+
+    def test_last_limits_records(self, log_path, capsys):
+        assert main(["slowlog", str(log_path), "--last", "0"]) == 0
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        assert main(["slowlog", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestToolCommands:

@@ -1,0 +1,162 @@
+"""OpenMetrics exposition: naming, escaping, histograms, round-trip."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    escape_label_value,
+    format_value,
+    metric_name,
+    render,
+)
+
+
+def parse_exposition(text):
+    """Minimal OpenMetrics text parser for round-trip assertions.
+
+    Returns ``(types, samples)``: ``{metric: type}`` from ``# TYPE``
+    lines and ``{sample_name_with_labels: float}`` for every sample.
+    """
+    types, samples = {}, {}
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    for line in lines[:-1]:
+        assert line, "no blank lines inside the exposition"
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.split(" ", 1)
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unexpected comment: {line}"
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)
+    return types, samples
+
+
+class TestNames:
+    def test_dotted_names_collapse_to_underscores(self):
+        assert metric_name("query.total_seconds") == "query_total_seconds"
+        assert metric_name("trace.spans_dropped") == "trace_spans_dropped"
+
+    def test_distinct_inputs_stay_distinct_for_declared_names(self):
+        from repro.obs.names import COUNTERS, GAUGES, HISTOGRAMS
+
+        declared = sorted(COUNTERS | GAUGES | HISTOGRAMS)
+        mapped = [metric_name(name) for name in declared]
+        assert len(set(mapped)) == len(declared)
+
+    def test_leading_digit_gets_prefix(self):
+        name = metric_name("4xx.responses")
+        assert name == "_4xx_responses"
+
+
+class TestEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_plain_text_unchanged(self):
+        assert escape_label_value("CPython 3.11") == "CPython 3.11"
+
+
+class TestValues:
+    def test_integers_render_without_dot(self):
+        assert format_value(3.0) == "3"
+
+    def test_floats_round_trip(self):
+        assert float(format_value(0.125)) == 0.125
+
+    def test_infinities_and_nan(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+
+
+class TestRender:
+    def test_counter_exposes_total(self):
+        registry = MetricsRegistry()
+        registry.counter("sql.queries").inc(5)
+        types, samples = parse_exposition(render(registry))
+        assert types["sql_queries"] == "counter"
+        assert samples["sql_queries_total"] == 5
+
+    def test_gauge_exposes_bare_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("obs.server_up").set(1.0)
+        types, samples = parse_exposition(render(registry))
+        assert types["obs_server_up"] == "gauge"
+        assert samples["obs_server_up"] == 1.0
+
+    def test_empty_histogram_exposes_zeroed_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("query.seconds", bounds=[0.1, 1.0])
+        _types, samples = parse_exposition(render(registry))
+        assert samples['query_seconds_bucket{le="+Inf"}'] == 0
+        assert samples["query_seconds_sum"] == 0
+        assert samples["query_seconds_count"] == 0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("query.seconds", bounds=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        _types, samples = parse_exposition(render(registry))
+        assert samples['query_seconds_bucket{le="0.1"}'] == 1
+        assert samples['query_seconds_bucket{le="1"}'] == 3
+        assert samples['query_seconds_bucket{le="10"}'] == 4
+        assert samples['query_seconds_bucket{le="+Inf"}'] == 5
+        assert samples["query_seconds_count"] == 5
+        assert samples["query_seconds_sum"] == pytest.approx(56.05)
+
+    def test_info_metric_carries_version_label(self):
+        from repro import __version__
+
+        text = render(MetricsRegistry())
+        types, _samples = parse_exposition(text)
+        assert types["repro"] == "info"
+        assert f'version="{__version__}"' in text
+
+    def test_ends_with_eof_newline(self):
+        assert render(MetricsRegistry()).endswith("# EOF\n")
+
+    def test_two_scrapes_are_byte_identical(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.gauge("c.d").set(2)
+        assert render(registry) == render(registry)
+
+    def test_content_type_is_openmetrics(self):
+        assert CONTENT_TYPE.startswith("application/openmetrics-text")
+        assert "version=1.0.0" in CONTENT_TYPE
+        assert "charset=utf-8" in CONTENT_TYPE
+
+    def test_gauge_set_from_many_threads_renders_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("load.fraction")
+        values = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+        def spin(value):
+            for _ in range(200):
+                gauge.set(value)
+
+        threads = [threading.Thread(target=spin, args=(v,)) for v in values]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        _types, samples = parse_exposition(render(registry))
+        assert samples["load_fraction"] in values
+
+    def test_full_registry_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        registry.counter("sql.queries").inc(7)
+        registry.gauge("obs.server_up").set(1)
+        registry.histogram("q.s", bounds=[1.0]).observe(0.5)
+        types, samples = parse_exposition(render(registry))
+        assert set(types) == {"sql_queries", "obs_server_up", "q_s", "repro"}
+        # Every TYPEd family contributed at least one sample.
+        for family in ("sql_queries_total", "obs_server_up", "q_s_count"):
+            assert family in samples

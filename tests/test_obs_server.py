@@ -1,0 +1,157 @@
+"""The telemetry HTTP endpoint: routes, content types, lifecycle."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.openmetrics import CONTENT_TYPE
+from repro.obs.server import (
+    DEFAULT_PORT,
+    METRICS_PORT_ENV,
+    TelemetryServer,
+    resolve_port,
+)
+from repro.obs.trace import Tracer
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode("utf-8")
+
+
+@pytest.fixture
+def server():
+    """A telemetry server on an OS-picked port, with its own registry."""
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=False)
+    srv = TelemetryServer(port=0, registry=registry, tracer=tracer)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestRoutes:
+    def test_metrics_serves_openmetrics(self, server):
+        server.registry.counter("sql.queries").inc(3)
+        status, headers, body = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        assert "sql_queries_total 3" in body
+        assert body.endswith("# EOF\n")
+
+    def test_healthz_without_callback(self, server):
+        status, headers, body = get(server.url + "/healthz")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_healthz_merges_callback_fields(self):
+        srv = TelemetryServer(
+            port=0,
+            registry=MetricsRegistry(),
+            tracer=Tracer(enabled=False),
+            health=lambda: {"tables": {"points": 42}},
+        )
+        with srv:
+            _status, _headers, body = get(srv.url + "/healthz")
+        assert json.loads(body) == {"status": "ok", "tables": {"points": 42}}
+
+    def test_healthz_failing_callback_returns_500(self):
+        def broken():
+            raise RuntimeError("catalog unreadable")
+
+        srv = TelemetryServer(
+            port=0,
+            registry=MetricsRegistry(),
+            tracer=Tracer(enabled=False),
+            health=broken,
+        )
+        with srv:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get(srv.url + "/healthz")
+        assert err.value.code == 500
+        payload = json.loads(err.value.read().decode("utf-8"))
+        assert payload["status"] == "error"
+        assert "catalog unreadable" in payload["error"]
+
+    def test_debug_trace_returns_recent_spans(self, server):
+        tracer = server.tracer
+        tracer.enable()
+        for i in range(3):
+            with tracer.span(f"q{i}"):
+                pass
+        _status, headers, body = get(server.url + "/debug/trace?last=2")
+        assert headers["Content-Type"].startswith("application/json")
+        names = [span["name"] for span in json.loads(body)]
+        assert names == ["q1", "q2"]
+
+    def test_debug_trace_rejects_bad_last(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server.url + "/debug/trace?last=soon")
+        assert err.value.code == 400
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server.url + "/nope")
+        assert err.value.code == 404
+
+    def test_requests_increment_counter(self, server):
+        counter = server.registry.counter("obs.http_requests")
+        before = counter.value
+        get(server.url + "/metrics")
+        get(server.url + "/healthz")
+        assert counter.value - before == 2
+
+
+class TestLifecycle:
+    def test_port_zero_binds_a_real_port(self, server):
+        assert server.port > 0
+        assert server.running
+
+    def test_server_up_gauge_tracks_lifecycle(self):
+        registry = MetricsRegistry()
+        srv = TelemetryServer(
+            port=0, registry=registry, tracer=Tracer(enabled=False)
+        )
+        gauge = registry.gauge("obs.server_up")
+        srv.start()
+        assert gauge.value == 1.0
+        srv.stop()
+        assert gauge.value == 0.0
+
+    def test_stop_is_idempotent(self):
+        srv = TelemetryServer(
+            port=0, registry=MetricsRegistry(), tracer=Tracer(enabled=False)
+        )
+        srv.start()
+        srv.stop()
+        srv.stop()
+        assert not srv.running
+
+    def test_start_twice_is_a_noop(self, server):
+        port = server.port
+        assert server.start() is server
+        assert server.port == port
+
+    def test_defaults_to_global_singletons(self):
+        srv = TelemetryServer()
+        assert srv.registry is get_registry()
+
+
+class TestPortResolution:
+    def test_explicit_port_wins(self, monkeypatch):
+        monkeypatch.setenv(METRICS_PORT_ENV, "1234")
+        assert resolve_port(4321) == 4321
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(METRICS_PORT_ENV, "1234")
+        assert resolve_port(None) == 1234
+
+    def test_default_when_unset_or_garbage(self, monkeypatch):
+        monkeypatch.delenv(METRICS_PORT_ENV, raising=False)
+        assert resolve_port(None) == DEFAULT_PORT
+        monkeypatch.setenv(METRICS_PORT_ENV, "lots")
+        assert resolve_port(None) == DEFAULT_PORT

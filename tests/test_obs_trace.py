@@ -165,6 +165,17 @@ class TestRingBuffer:
         assert len(names) == 8
         assert names == [f"s{i}" for i in range(12, 20)]
 
+    def test_drops_increment_counter(self):
+        from repro.obs.metrics import get_registry
+
+        counter = get_registry().counter("trace.spans_dropped")
+        before = counter.value
+        t = Tracer(max_spans=4, enabled=True)
+        for i in range(10):
+            with t.span(f"s{i}"):
+                pass
+        assert counter.value - before == 6  # 10 finished, buffer holds 4
+
     def test_traces_group_by_trace_id(self):
         t = Tracer(enabled=True)
         for _ in range(3):
@@ -210,8 +221,10 @@ class TestExporters:
     def test_chrome_schema(self, tracer):
         spans = self._sample_spans(tracer)
         payload = json.loads(to_chrome(spans))
-        events = payload["traceEvents"]
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
         assert len(events) == len(spans)
+        assert metadata  # process/thread names lead the event list
         for event in events:
             assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(
                 event
@@ -232,8 +245,25 @@ class TestExporters:
             with tracer.span("np") as span:
                 span.set(rows=np.int64(9), frac=np.float64(0.5))
         payload = json.loads(to_chrome(spans))
-        args = payload["traceEvents"][0]["args"]
-        assert args == {"rows": 9, "frac": 0.5}
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert events[0]["args"] == {"rows": 9, "frac": 0.5}
+
+    def test_chrome_metadata_names_process_and_threads(self, tracer):
+        with tracer.capture() as spans:
+            with tracer.span("driver"):
+                parallel.run_tasks(lambda i: i, list(range(8)), threads=2)
+        payload = json.loads(to_chrome(spans))
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        # Metadata events lead the list so viewers name lanes up front.
+        assert events[: len(metadata)] == metadata
+        process = [e for e in metadata if e["name"] == "process_name"]
+        assert len(process) == 1
+        assert process[0]["args"]["name"] == "repro-gis"
+        thread_meta = [e for e in metadata if e["name"] == "thread_name"]
+        span_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert {e["tid"] for e in thread_meta} == span_tids
+        assert all(e["args"]["name"] for e in thread_meta)
 
 
 class TestFormatTree:
