@@ -1,0 +1,80 @@
+"""E8 — Compressed execution: packed scans vs. plain scans.
+
+The E-series selectivity sweep runs on LAS-style integer coordinate
+columns twice per query — on the per-segment compressed format (zone
+maps + packed FOR/dictionary kernels) and on the plain numpy arrays —
+through the same ``engine.select`` operators.  Results land in
+``BENCH_compression.json`` at the repo root (and ``REPRO_BENCH_DIR``
+when set).
+
+The deterministic claim is asserted here: packed range scans must touch
+at most half the bytes of the plain scan.  Coordinates quantised to
+centimetres span far less than 2^32 scale units, so FOR offsets pack to
+uint32 against the plain int64 column — a 2x floor before zone-map
+pruning removes whole segments.  Throughput assertions stay soft (CI
+runners are noisy); the committed JSON carries the real numbers.
+"""
+
+import os
+from pathlib import Path
+
+from repro.bench.compression_scan import (
+    build_table,
+    column_breakdown,
+    las_integer_columns,
+    measure_query,
+    morton_order,
+    scan_specs,
+)
+from repro.bench.parallel_scaling import machine_info, metrics_snapshot, write_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+def test_compression_scan_report(cloud, extent):
+    columns = morton_order(las_integer_columns(cloud, extent), extent)
+    table = build_table(columns, segment_rows=max(4096, len(columns["x"]) // 16))
+
+    queries = [
+        measure_query(table, spec, repeats=REPEATS)
+        for spec in scan_specs(table)
+    ]
+    breakdown = column_breakdown(table)
+
+    payload = {
+        "experiment": "compressed_execution",
+        "workload": "E-series selectivity sweep on packed segments",
+        "n_points": len(table),
+        "repeats": REPEATS,
+        "machine": machine_info(),
+        "columns": breakdown,
+        "queries": queries,
+        "metrics": metrics_snapshot(),
+    }
+    out = write_report(REPO_ROOT / "BENCH_compression.json", payload)
+    if os.environ.get("REPRO_BENCH_DIR"):
+        write_report(
+            Path(os.environ["REPRO_BENCH_DIR"]) / "BENCH_compression.json",
+            payload,
+        )
+    assert out.exists()
+
+    # The paper's claim, deterministically: packed range scans move at
+    # most half the bytes (uint32 offsets vs int64 values, plus any
+    # zone-map skips), without the index having been asked to decode.
+    range_queries = [q for q in queries if q["name"] != "classification_eq"]
+    assert range_queries
+    for query in range_queries:
+        assert query["bytes_reduction"] >= 2.0, query
+    # The coordinate columns themselves pack at least 2x on disk too.
+    by_name = {row["name"]: row for row in breakdown}
+    for name in ("x", "y", "z"):
+        row = by_name[name]
+        assert row["plain_bytes_per_point"] >= 2 * row["bytes_per_point"], row
+    # Soft throughput floor: packed evaluation must not crater the scan.
+    # At full bench scale packed range scans run >1x (the committed JSON
+    # records it); at smoke scale fixed per-segment overhead dominates,
+    # so only a collapse fails here.
+    for query in queries:
+        assert query["speedup"] >= 0.1, query

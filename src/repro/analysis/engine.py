@@ -56,6 +56,9 @@ class Config:
             "repro/engine/parallel.py",
             "repro/engine/aggregate.py",
             "repro/engine/join.py",
+            "repro/engine/compression.py",
+            "repro/engine/compressed.py",
+            "repro/engine/kernels.py",
             "repro/sql/executor.py",
         }
     )

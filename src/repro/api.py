@@ -242,7 +242,34 @@ class PointCloudDB:
                 "rows": len(table),
                 "column_bytes": table.nbytes,
                 "imprint_bytes": imprint_bytes,
+                "compressed_bytes": sum(
+                    int(entry["nbytes"])
+                    for entry in table.compression_report().values()
+                ),
             }
+        return report
+
+    def compress(
+        self,
+        name: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
+        segment_rows: Optional[int] = None,
+        scheme: str = "auto",
+    ) -> Dict[str, Dict[str, object]]:
+        """Build compressed execution mirrors (see ``docs/compression.md``).
+
+        Packs every column of ``name`` (or of every table when ``name``
+        is ``None``) into per-segment :class:`CompressedBlock`\\ s the
+        select kernels can scan without decompressing; mirrors persist
+        as ``.colz`` sidecars at the next :meth:`save`.  Returns the
+        per-table :meth:`~repro.engine.table.Table.compression_report`.
+        """
+        names = [name] if name is not None else self.db.table_names
+        report: Dict[str, Dict[str, object]] = {}
+        for table_name in names:
+            table = self.db.table(table_name)
+            table.compress(columns=columns, segment_rows=segment_rows, scheme=scheme)
+            report[table_name] = dict(table.compression_report())
         return report
 
     def save(self, directory: Optional[PathLike] = None) -> int:

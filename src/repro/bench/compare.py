@@ -12,6 +12,13 @@ by more than ``--threshold`` (default 15%).  The default exit code is 1
 on any regression; ``--soft`` always exits 0 and emits GitHub Actions
 ``::warning::`` annotations instead, for machines (shared CI runners)
 whose timings are too noisy to gate on.
+
+``compressed_execution`` reports (``BENCH_compression.json``) are
+detected by their ``experiment`` tag and compared on their own axes:
+bytes/point per column (lower is better — a fatter encoding is a
+regression even if it happens to scan fast on this machine) and packed
+scan throughput per query (higher is better), both at the same
+threshold.
 """
 
 from __future__ import annotations
@@ -62,6 +69,72 @@ def diff_metrics(
         "added": sorted(cur_names - base_names),
         "removed": sorted(base_names - cur_names),
     }
+
+
+def load_compression(path) -> Dict[Tuple[str, str], float]:
+    """Comparable metrics from a ``compressed_execution`` report.
+
+    Keys are ``("bytes_per_point", column)`` (lower is better) and
+    ``("throughput_mpts", query)`` (higher is better); any other payload
+    yields an empty dict.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("experiment") != "compressed_execution":
+        return {}
+    metrics: Dict[Tuple[str, str], float] = {}
+    for column in payload.get("columns", []):
+        metrics[("bytes_per_point", column["name"])] = float(
+            column["bytes_per_point"]
+        )
+    for query in payload.get("queries", []):
+        packed = query.get("packed", {}) or {}
+        if "throughput_mpts" in packed:
+            metrics[("throughput_mpts", query["name"])] = float(
+                packed["throughput_mpts"]
+            )
+    return metrics
+
+
+#: Per-metric regression direction: +1 when higher current values are
+#: worse (times, sizes), -1 when lower values are worse (throughput).
+_COMPRESSION_DIRECTION = {"bytes_per_point": 1, "throughput_mpts": -1}
+
+
+def compare_compression(
+    baseline: Dict[Tuple[str, str], float],
+    current: Dict[Tuple[str, str], float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[dict]:
+    """Direction-aware comparison rows for shared compression metrics."""
+    rows: List[dict] = []
+    for key in sorted(set(baseline) & set(current)):
+        metric, name = key
+        base, cur = baseline[key], current[key]
+        ratio = cur / base if base > 0 else float("inf")
+        if _COMPRESSION_DIRECTION.get(metric, 1) > 0:
+            regressed = ratio > 1.0 + threshold
+        else:
+            regressed = ratio < 1.0 / (1.0 + threshold)
+        rows.append(
+            {
+                "metric": metric,
+                "name": name,
+                "baseline": base,
+                "current": cur,
+                "ratio": ratio,
+                "regressed": regressed,
+            }
+        )
+    return rows
+
+
+def format_compression_row(row: dict) -> str:
+    mark = "REGRESSED" if row["regressed"] else "ok"
+    return (
+        f"{row['metric']:<16} {row['name']:<24} "
+        f"{row['baseline']:10.3f} -> {row['current']:10.3f} "
+        f"({row['ratio']:5.2f}x)  {mark}"
+    )
 
 
 def compare(
@@ -120,6 +193,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit 0 even on regressions; emit ::warning:: annotations",
     )
     args = parser.parse_args(argv)
+
+    comp_baseline = load_compression(args.baseline)
+    comp_current = load_compression(args.current)
+    if comp_baseline or comp_current:
+        if not (comp_baseline and comp_current):
+            print("compare: no shared compression metrics", file=sys.stderr)
+            return 0 if args.soft else 2
+        rows = compare_compression(
+            comp_baseline, comp_current, threshold=args.threshold
+        )
+        for row in rows:
+            print(format_compression_row(row))
+        regressions = [row for row in rows if row["regressed"]]
+        print(
+            f"{len(rows)} compression metrics compared, "
+            f"{len(regressions)} regressed "
+            f"(threshold +{args.threshold * 100:.0f}%)"
+        )
+        if regressions and args.soft:
+            for row in regressions:
+                print(
+                    f"::warning::compression regression {row['metric']} "
+                    f"{row['name']}: {row['ratio']:.2f}x baseline"
+                )
+            return 0
+        return 1 if regressions else 0
 
     baseline = load_timings(args.baseline)
     current = load_timings(args.current)

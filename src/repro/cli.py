@@ -145,6 +145,32 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from .api import PointCloudDB
+
+    db = PointCloudDB.load(args.db)
+    columns = args.columns.split(",") if args.columns else None
+    names = [args.table] if args.table else None
+    report = {}
+    for name in names or db.db.table_names:
+        report.update(db.compress(name, columns=columns, scheme=args.scheme))
+    db.save()
+    for table_name, per_column in sorted(report.items()):
+        print(f"table {table_name}:")
+        for column, entry in per_column.items():
+            schemes = ",".join(
+                f"{s}x{n}" for s, n in sorted(entry["schemes"].items())
+            )
+            nbytes = int(entry["nbytes"])
+            plain = int(entry["plain_nbytes"])
+            ratio = nbytes / plain if plain else 1.0
+            print(
+                f"  {column}: {schemes}  {nbytes:,} / {plain:,} bytes "
+                f"({ratio:.2f}x)"
+            )
+    return 0
+
+
 def _open_db(db_dir: str, threads: Optional[int] = None):
     from .api import PointCloudDB
 
@@ -479,9 +505,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair",
         action="store_true",
         help="roll back torn tails, rewrite repaired tables, quarantine "
-        "corrupt imprints before verifying",
+        "corrupt imprints and compressed sidecars (re-encoding the "
+        "latter from their source columns) before verifying",
     )
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "compress",
+        help="build compressed execution mirrors (.colz sidecars) for a "
+        "database's columns",
+    )
+    p.add_argument("db")
+    p.add_argument("--table", default=None, help="one table (default: all)")
+    p.add_argument(
+        "--columns",
+        default=None,
+        help="comma-separated column subset (default: every column)",
+    )
+    p.add_argument(
+        "--scheme",
+        default="auto",
+        choices=["auto", "rle", "dict", "for", "delta_zlib", "plain"],
+        help="per-segment encoding (default: adaptive)",
+    )
+    p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser("query", help="spatial selection on a saved database")
     p.add_argument("db")

@@ -24,12 +24,13 @@ Segments are the unit of everything the engine wants to scale:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
 
 from ...engine.column import Column
+from ...engine.kernels import ZONE_FULL, ZONE_PROBE, ZONE_SKIP, zone_verdict
 from ...engine.parallel import run_tasks
 from ...obs import resources
 from . import bitvec, dictionary
@@ -42,9 +43,9 @@ from .index import ImprintStats
 #: Python overhead stays far below the numpy kernels it wraps.
 DEFAULT_SEGMENT_ROWS = 64 * 1024
 
-#: Zone-map verdicts (module-private ints, cheaper than an Enum in the
-#: per-query classify loop).
-_SKIP, _FULL, _PROBE = 0, 1, 2
+#: Zone-map verdicts — shared with the compressed-execution kernels so
+#: segment pruning has exactly one algebra (:mod:`repro.engine.kernels`).
+_SKIP, _FULL, _PROBE = ZONE_SKIP, ZONE_FULL, ZONE_PROBE
 
 
 @dataclass
@@ -87,22 +88,27 @@ def build_segment(
     max_bins: int = MAX_BINS,
     sample_size: int = DEFAULT_SAMPLE,
     max_counter: int = dictionary.MAX_COUNTER,
+    zone: Optional[Tuple[Any, Any]] = None,
 ) -> SegmentImprint:
     """Build one segment's imprint from the column slice ``[start, stop)``.
 
     Pure function of the slice — safe to run on any worker thread.  Each
     build seeds its own sampling RNG, so parallel and serial builds produce
-    identical indexes.
+    identical indexes.  ``zone`` supplies a precomputed ``(zmin, zmax)``
+    when the caller already knows the range — the compressed mirror's FOR
+    headers carry it for free, saving the min/max sweep here.
     """
     part = values[start:stop]
     scheme = build_bins(part, max_bins=max_bins, sample_size=sample_size)
     vectors = bitvec.build_vectors(part, scheme, vpc)
     cdict = dictionary.compress(vectors, max_counter=max_counter)
+    if zone is None:
+        zone = (part.min(), part.max())
     return SegmentImprint(
         start=start,
         stop=stop,
-        zmin=part.min(),
-        zmax=part.max(),
+        zmin=zone[0],
+        zmax=zone[1],
         scheme=scheme,
         cdict=cdict,
         coverage=cdict.coverage(),
@@ -206,6 +212,7 @@ class SegmentedImprints:
             (start, min(start + self.segment_rows, n))
             for start in range(rebuild_from, n, self.segment_rows)
         ]
+        zones = self._packed_zones()
         built = run_tasks(
             lambda span: build_segment(
                 values,
@@ -215,6 +222,7 @@ class SegmentedImprints:
                 max_bins=self.max_bins,
                 sample_size=self.sample_size,
                 max_counter=self.max_counter,
+                zone=zones.get(span),
             ),
             spans,
             threads=threads,
@@ -222,6 +230,24 @@ class SegmentedImprints:
         self.segments.extend(built)
         self.n_rows = n
         return len(spans)
+
+    def _packed_zones(self) -> Dict[Tuple[int, int], Tuple[Any, Any]]:
+        """Zone maps the column's compressed mirror already knows.
+
+        Every :class:`~repro.engine.compression.CompressedBlock` records
+        its value range at encode time (for FOR blocks it *is* the
+        header: reference and reference + span), so any imprint segment
+        that lines up with a mirror segment gets its zone map without a
+        min/max sweep.
+        """
+        packed = self.column.packed
+        if packed is None:
+            return {}
+        zones: Dict[Tuple[int, int], Tuple[Any, Any]] = {}
+        for i, block in enumerate(packed.blocks):
+            if block.zmin is not None and block.zmax is not None:
+                zones[packed.segment_bounds(i)] = (block.zmin, block.zmax)
+        return zones
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -269,18 +295,12 @@ class SegmentedImprints:
     ) -> int:
         """Zone-map verdict for one segment (skip / accept whole / probe).
 
+        Delegates to the shared :func:`~repro.engine.kernels.zone_verdict`
+        so imprints and compressed scans prune with identical algebra.
         NaN zone maps compare false everywhere and land on PROBE, so NaN
         data costs time, never correctness.
         """
-        if lo is not None and (seg.zmax < lo or (not lo_inc and seg.zmax <= lo)):
-            return _SKIP
-        if hi is not None and (seg.zmin > hi or (not hi_inc and seg.zmin >= hi)):
-            return _SKIP
-        lo_ok = lo is None or (seg.zmin >= lo if lo_inc else seg.zmin > lo)
-        hi_ok = hi is None or (seg.zmax <= hi if hi_inc else seg.zmax < hi)
-        if lo_ok and hi_ok:
-            return _FULL
-        return _PROBE
+        return zone_verdict(seg.zmin, seg.zmax, lo, hi, lo_inc, hi_inc)
 
     def _candidate_lines(self, seg: SegmentImprint, lo: Optional[Any], hi: Optional[Any]) -> NDArray[Any]:
         """Local candidate-line indices for one probed segment."""

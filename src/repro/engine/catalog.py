@@ -161,9 +161,14 @@ class Database:
             )
         for name in sorted(names):
             entry = root / name
+            sidecar_issues: List[str] = []
             try:
-                db.register(storage.load_table(entry))
-                db.health[name] = {"ok": True, "issues": []}
+                db.register(
+                    storage.load_table(entry, sidecar_issues=sidecar_issues)
+                )
+                # Quarantined sidecars are repaired in memory (re-encoded
+                # from the plain column), so they are notes, not failures.
+                db.health[name] = {"ok": True, "issues": sidecar_issues}
                 continue
             except storage.StorageError as exc:
                 first_error = str(exc)

@@ -10,10 +10,13 @@ described in Section 3.2 of the paper.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .compressed import CompressedColumn
 
 #: Logical type names accepted by the engine, mapped to numpy dtypes.  These
 #: are the types needed by the 26-attribute LAS flat table plus bookkeeping.
@@ -70,7 +73,7 @@ class Column:
         Optional initial values; copied into the column.
     """
 
-    __slots__ = ("name", "dtype", "_buf", "_len", "_minmax_cache")
+    __slots__ = ("name", "dtype", "_buf", "_len", "_minmax_cache", "_packed")
 
     def __init__(
         self,
@@ -83,6 +86,7 @@ class Column:
         self._buf: NDArray[Any] = np.empty(_INITIAL_CAPACITY, dtype=self.dtype)
         self._len = 0
         self._minmax_cache: Optional[Tuple[Any, Any]] = None
+        self._packed: Optional["CompressedColumn"] = None
         if data is not None:
             self.append(data)
 
@@ -166,6 +170,7 @@ class Column:
         self._buf[self._len : self._len + arr.shape[0]] = arr
         self._len += arr.shape[0]
         self._minmax_cache = None
+        self._packed = None
         return first_oid
 
     def truncate(self, n: int) -> None:
@@ -182,6 +187,7 @@ class Column:
             )
         self._len = n
         self._minmax_cache = None
+        self._packed = None
 
     # -- access ------------------------------------------------------------
 
@@ -201,3 +207,49 @@ class Column:
             vals = self._buf[: self._len]
             self._minmax_cache = (vals.min(), vals.max())
         return self._minmax_cache
+
+    # -- compressed execution mirror ---------------------------------------
+
+    @property
+    def packed(self) -> Optional["CompressedColumn"]:
+        """The column's compressed execution mirror, or ``None``.
+
+        The mirror is invalidated (dropped) by every append/truncate, so
+        a non-``None`` result is always an exact snapshot of the current
+        rows and the select operators may scan it instead of the plain
+        buffer.
+        """
+        if self._packed is not None and self._packed.n_rows != self._len:
+            self._packed = None
+        return self._packed
+
+    def pack(
+        self,
+        segment_rows: Optional[int] = None,
+        scheme: str = "auto",
+    ) -> "CompressedColumn":
+        """Build (or rebuild) the compressed execution mirror."""
+        from .compressed import DEFAULT_SEGMENT_ROWS, CompressedColumn
+
+        packed = CompressedColumn.from_values(
+            self.name,
+            self._buf[: self._len],
+            segment_rows=segment_rows or DEFAULT_SEGMENT_ROWS,
+            scheme=scheme,
+        )
+        self._packed = packed
+        return packed
+
+    def adopt_packed(self, packed: Optional["CompressedColumn"]) -> None:
+        """Attach a mirror built elsewhere (the storage loader); it must
+        describe exactly this column's rows."""
+        if packed is not None and packed.n_rows != self._len:
+            raise ValueError(
+                f"packed mirror has {packed.n_rows} rows, column "
+                f"{self.name!r} has {self._len}"
+            )
+        self._packed = packed
+
+    def drop_packed(self) -> None:
+        """Discard the compressed mirror (fall back to plain scans)."""
+        self._packed = None

@@ -7,6 +7,15 @@ the engine's scan-based selects; the imprints index in
 :mod:`repro.core.imprints` produces the same candidate-list contract, so the
 two are interchangeable in query plans (which is exactly how the paper swaps
 a full scan for an index probe).
+
+When a column carries a compressed execution mirror
+(:attr:`~repro.engine.column.Column.packed`) and the select starts from the
+full column (no candidate list), the predicate runs on the *encoded*
+segments instead — zone-map pruning, then packed kernels, decoding nothing
+that does not survive (see :mod:`repro.engine.kernels`).  The result is
+bit-identical to the plain scan; the span reports ``encoded_bytes`` vs.
+``materialized_bytes`` so ``EXPLAIN ANALYZE`` shows which bytes each
+operator really moved.
 """
 
 from __future__ import annotations
@@ -17,9 +26,11 @@ import numpy as np
 from numpy.typing import NDArray
 
 from ..obs import resources
+from ..obs.metrics import get_registry
 from ..obs.trace import maybe_span
 from . import parallel
 from .column import Column
+from .compressed import CompressedColumn, ScanStats
 
 #: Comparison operators accepted by :func:`theta_select`.
 _THETA_OPS: Dict[str, Callable[[NDArray[Any], object], NDArray[Any]]] = {
@@ -52,6 +63,47 @@ def _account_touched(vals: NDArray[Any]) -> None:
         tracker.add_touched(
             rows=int(vals.shape[0]), nbytes=int(vals.nbytes)
         )
+
+
+def _numeric_bound(bound: object) -> bool:
+    """Only numeric predicates may take the packed path — the zone-map
+    algebra compares against ``zmin``/``zmax`` with Python operators, so
+    exotic constants stay on the plain numpy scan."""
+    return bound is None or isinstance(bound, (bool, int, float, np.number, np.bool_))
+
+
+def _packed_for(
+    column: Column, candidates: Optional[NDArray[Any]], *bounds: object
+) -> Optional[CompressedColumn]:
+    """The column's compressed mirror, when this select can use it."""
+    if candidates is not None:
+        return None
+    if not all(_numeric_bound(b) for b in bounds):
+        return None
+    return column.packed
+
+
+def _account_packed(packed: CompressedColumn, stats: ScanStats, span: Any) -> None:
+    """Credit a packed select: probed rows and the bytes actually moved
+    (encoded payloads for packed probes, decoded arrays for fallbacks).
+    Zone-map skips and wholesale accepts cost zero bytes, same as the
+    imprint accounting."""
+    tracker = resources.current()
+    touched = stats.encoded_bytes + stats.materialized_bytes
+    if tracker is not None and stats.rows_in:
+        tracker.add_touched(rows=int(stats.rows_in), nbytes=int(touched))
+    saved = packed.plain_nbytes - touched
+    if saved > 0:
+        get_registry().counter("compression.materialized_bytes_saved").inc(saved)
+    span.set(
+        rows_in=packed.n_rows,
+        rows_out=stats.rows_out,
+        segments_skipped=stats.segments_skipped,
+        segments_full=stats.segments_full,
+        segments_probed=stats.segments_probed,
+        encoded_bytes=stats.encoded_bytes,
+        materialized_bytes=stats.materialized_bytes,
+    )
 
 
 def _morsel_mask(
@@ -97,11 +149,22 @@ def theta_select(
     except KeyError:
         raise ValueError(f"unknown theta operator {op!r}") from None
     with maybe_span("select.theta", column=column.name, op=op) as span:
+        packed = _packed_for(column, candidates, constant)
+        if packed is not None:
+            stats = ScanStats()
+            result = packed.theta_select(op, constant, threads=threads, stats=stats)
+            _account_packed(packed, stats, span)
+            return result
         vals = column.values if candidates is None else column.take(candidates)
         _account_touched(vals)
         mask = _morsel_mask(vals, lambda part: fn(part, constant), threads)
         result = _as_candidates(mask, candidates)
-        span.set(rows_in=int(vals.shape[0]), rows_out=int(result.shape[0]))
+        span.set(
+            rows_in=int(vals.shape[0]),
+            rows_out=int(result.shape[0]),
+            encoded_bytes=0,
+            materialized_bytes=int(vals.nbytes),
+        )
     return result
 
 
@@ -123,6 +186,14 @@ def range_select(
     the reassembled result is identical either way.
     """
     with maybe_span("select.range", column=column.name) as span:
+        packed = _packed_for(column, candidates, lo, hi)
+        if packed is not None:
+            stats = ScanStats()
+            result = packed.range_select(
+                lo, hi, lo_inclusive, hi_inclusive, threads=threads, stats=stats
+            )
+            _account_packed(packed, stats, span)
+            return result
         vals = column.values if candidates is None else column.take(candidates)
         _account_touched(vals)
 
@@ -135,7 +206,12 @@ def range_select(
             return mask
 
         result = _as_candidates(_morsel_mask(vals, kernel, threads), candidates)
-        span.set(rows_in=int(vals.shape[0]), rows_out=int(result.shape[0]))
+        span.set(
+            rows_in=int(vals.shape[0]),
+            rows_out=int(result.shape[0]),
+            encoded_bytes=0,
+            materialized_bytes=int(vals.nbytes),
+        )
     return result
 
 

@@ -21,6 +21,18 @@ written as v2 through the atomic-write protocol of
 :mod:`repro.engine.durable` (temp file + fsync + ``os.replace``), so a
 crash mid-write leaves the previous file intact instead of a torn one.
 
+Version 3 is the *compressed* generation of the format: a segmented
+sequence of :class:`~repro.engine.compression.CompressedBlock` payloads
+(see ``docs/compression.md`` for the exact layout).  It is written as a
+``.colz`` **sidecar** next to each plain ``.col`` file — the plain file
+stays the source of truth, the sidecar is the execution format the packed
+select kernels scan.  A ``source_crc`` header field ties a sidecar to the
+exact column payload it was encoded from, so a stale sidecar (column
+rewritten, sidecar not yet) is detected and ignored rather than served.
+:func:`load_array` reads all three generations; a corrupt sidecar is
+quarantined (renamed ``*.quarantined``) and re-encoded from the plain
+column, mirroring the imprint quarantine path.
+
 A corrupted header, a short payload, or a checksum mismatch raises
 :class:`StorageError` rather than yielding a truncated column; checksum
 mismatches also increment the ``durability.checksum_failures`` counter.
@@ -28,8 +40,10 @@ mismatches also increment the ``durability.checksum_failures`` counter.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import struct
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -38,14 +52,20 @@ from numpy.typing import NDArray
 
 from . import durable
 from .column import TYPE_MAP, Column
+from .compressed import CompressedColumn
+from .compression import CompressedBlock, CompressionError
 from .table import Table
 
 _MAGIC = b"RCOL"
 _VERSION_V1 = 1
 _VERSION = 2
+_VERSION_V3 = 3
 _HEADER_V1 = struct.Struct("<4sHHQ")
 _HEADER = struct.Struct("<4sHHQI")
-_PREFIX = struct.Struct("<4sH")  # magic + version, shared by both layouts
+#: v3: magic, version, type, count, n_segments, segment_rows,
+#: source_crc (crc32 of the plain column payload), file crc32 (last).
+_HEADER_V3 = struct.Struct("<4sHHQIIII")
+_PREFIX = struct.Struct("<4sH")  # magic + version, shared by all layouts
 _TYPE_NAMES: List[str] = list(TYPE_MAP.keys())
 _TYPE_CODES = {name: i for i, name in enumerate(_TYPE_NAMES)}
 
@@ -104,6 +124,13 @@ def _parse_header(raw: bytes, path: Path) -> Tuple[int, "np.dtype[Any]", int, Op
         if len(raw) < header.size:
             raise StorageError(f"{path}: truncated header")
         _magic, _version, type_code, count, crc = header.unpack(raw[: header.size])
+    elif version == _VERSION_V3:
+        header = _HEADER_V3
+        if len(raw) < header.size:
+            raise StorageError(f"{path}: truncated header")
+        (_magic, _version, type_code, count, _n_seg, _seg_rows, _src_crc, crc) = (
+            header.unpack(raw[: header.size])
+        )
     else:
         raise StorageError(f"{path}: unsupported version {version}")
     if type_code >= len(_TYPE_NAMES):
@@ -120,7 +147,7 @@ def read_column_header(path: PathLike) -> Dict[str, object]:
     path = Path(path)
     try:
         with open(path, "rb") as fh:
-            raw = fh.read(_HEADER.size)
+            raw = fh.read(max(_HEADER.size, _HEADER_V3.size))
     except FileNotFoundError:
         raise StorageError(f"column file not found: {path}") from None
     version, dtype, count, crc, _offset = _parse_header(raw, path)
@@ -144,7 +171,11 @@ def load_array(path: PathLike) -> NDArray[Any]:
         raw = path.read_bytes()
     except FileNotFoundError:
         raise StorageError(f"column file not found: {path}") from None
-    _version, dtype, count, crc, offset = _parse_header(raw, path)
+    version, dtype, count, crc, offset = _parse_header(raw, path)
+    if version == _VERSION_V3:
+        # The compressed generation: decode the segments back to one
+        # flat array (checksum verification happens in the parser).
+        return _parse_compressed(raw, path, name=path.stem).decode_all()
     payload = raw[offset : offset + count * dtype.itemsize]
     if len(payload) != count * dtype.itemsize:
         raise StorageError(
@@ -167,6 +198,198 @@ def load_array(path: PathLike) -> NDArray[Any]:
             raise StorageError(f"{path}: checksum mismatch")
     arr = np.frombuffer(payload, dtype=dtype.newbyteorder("<")).astype(dtype)
     return arr
+
+
+# -- compressed sidecars (v3) ------------------------------------------------
+
+
+def _frame_str(text: str) -> bytes:
+    raw = text.encode()
+    return len(raw).to_bytes(2, "little") + raw
+
+
+def _read_frame_str(raw: bytes, pos: int, path: Path) -> Tuple[str, int]:
+    if pos + 2 > len(raw):
+        raise StorageError(f"{path}: truncated segment framing")
+    n = int.from_bytes(raw[pos : pos + 2], "little")
+    pos += 2
+    if pos + n > len(raw):
+        raise StorageError(f"{path}: truncated segment framing")
+    try:
+        return raw[pos : pos + n].decode(), pos + n
+    except UnicodeDecodeError as exc:
+        raise StorageError(f"{path}: corrupt segment framing ({exc})") from None
+
+
+def column_payload_crc(array: NDArray[Any]) -> int:
+    """CRC32 of a column's raw little-endian payload bytes — the value
+    that links a ``.colz`` sidecar to the exact ``.col`` data it encodes."""
+    array = np.ascontiguousarray(array)
+    return durable.checksum(array.astype(array.dtype.newbyteorder("<")).tobytes())
+
+
+def sidecar_path(directory: PathLike, column_name: str) -> Path:
+    """Where a column's compressed sidecar lives inside a table dir."""
+    return Path(directory) / f"{column_name}.colz"
+
+
+def dump_compressed(packed: CompressedColumn, path: PathLike) -> int:
+    """Write a :class:`CompressedColumn` as a v3 ``.colz`` file; returns
+    bytes written.  Atomic, CRC-protected, like every durable write."""
+    dtype = np.dtype(packed.dtype)
+    type_name = {v: k for k, v in TYPE_MAP.items()}.get(dtype)
+    if type_name is None:
+        raise StorageError(f"unsupported dtype {packed.dtype}")
+    body_parts: List[bytes] = []
+    for block in packed.blocks:
+        body_parts.append(_frame_str(block.scheme))
+        body_parts.append(_frame_str(block.dtype))
+        body_parts.append(block.count.to_bytes(8, "little"))
+        if block.zmin is not None and block.zmax is not None:
+            zone = np.ascontiguousarray(np.asarray([block.zmin, block.zmax]))
+            body_parts.append(b"\x01")
+            body_parts.append(_frame_str(zone.dtype.str))
+            body_parts.append(zone.tobytes())
+        else:
+            body_parts.append(b"\x00")
+        body_parts.append(len(block.payload).to_bytes(8, "little"))
+        body_parts.append(block.payload)
+    body = b"".join(body_parts)
+    base = _HEADER_V3.pack(
+        _MAGIC,
+        _VERSION_V3,
+        _TYPE_CODES[type_name],
+        packed.n_rows,
+        len(packed.blocks),
+        packed.segment_rows,
+        packed.source_crc,
+        0,
+    )
+    header = _HEADER_V3.pack(
+        _MAGIC,
+        _VERSION_V3,
+        _TYPE_CODES[type_name],
+        packed.n_rows,
+        len(packed.blocks),
+        packed.segment_rows,
+        packed.source_crc,
+        durable.checksum(base + body),
+    )
+    return durable.atomic_write_bytes(path, header + body, label="colz")
+
+
+def _parse_compressed(raw: bytes, path: Path, name: str) -> CompressedColumn:
+    """Parse (and checksum-verify) a v3 blob into a CompressedColumn."""
+    if len(raw) < _HEADER_V3.size:
+        raise StorageError(f"{path}: truncated header")
+    (magic, version, type_code, count, n_seg, seg_rows, src_crc, crc) = (
+        _HEADER_V3.unpack(raw[: _HEADER_V3.size])
+    )
+    if magic != _MAGIC:
+        raise StorageError(f"{path}: bad magic {magic!r}")
+    if version != _VERSION_V3:
+        raise StorageError(f"{path}: not a v3 compressed file (v{version})")
+    if type_code >= len(_TYPE_NAMES):
+        raise StorageError(f"{path}: unknown type code {type_code}")
+    base = raw[: _HEADER_V3.size - 4] + b"\x00\x00\x00\x00"
+    if durable.checksum(base + raw[_HEADER_V3.size :]) != crc:
+        durable.record_checksum_failure(path)
+        raise StorageError(f"{path}: checksum mismatch")
+    pos = _HEADER_V3.size
+    blocks: List[CompressedBlock] = []
+    for _ in range(n_seg):
+        scheme, pos = _read_frame_str(raw, pos, path)
+        dtype_tag, pos = _read_frame_str(raw, pos, path)
+        if pos + 8 > len(raw):
+            raise StorageError(f"{path}: truncated segment header")
+        seg_count = int.from_bytes(raw[pos : pos + 8], "little")
+        pos += 8
+        if pos + 1 > len(raw):
+            raise StorageError(f"{path}: truncated segment header")
+        has_zone = raw[pos]
+        pos += 1
+        zmin = zmax = None
+        if has_zone:
+            zone_tag, pos = _read_frame_str(raw, pos, path)
+            try:
+                zone_dtype = np.dtype(zone_tag)
+            except TypeError as exc:
+                raise StorageError(f"{path}: bad zone dtype ({exc})") from None
+            zone_len = 2 * zone_dtype.itemsize
+            if pos + zone_len > len(raw):
+                raise StorageError(f"{path}: truncated zone map")
+            zone = np.frombuffer(raw[pos : pos + zone_len], dtype=zone_dtype)
+            zmin, zmax = zone[0], zone[1]
+            pos += zone_len
+        if pos + 8 > len(raw):
+            raise StorageError(f"{path}: truncated segment header")
+        payload_len = int.from_bytes(raw[pos : pos + 8], "little")
+        pos += 8
+        payload = raw[pos : pos + payload_len]
+        if len(payload) != payload_len:
+            raise StorageError(f"{path}: truncated segment payload")
+        pos += payload_len
+        blocks.append(
+            CompressedBlock(scheme, dtype_tag, seg_count, payload, zmin, zmax)
+        )
+    dtype = TYPE_MAP[_TYPE_NAMES[type_code]]
+    try:
+        return CompressedColumn(
+            name=name,
+            dtype=dtype.str,
+            segment_rows=seg_rows,
+            n_rows=count,
+            blocks=tuple(blocks),
+            source_crc=src_crc,
+        )
+    except CompressionError as exc:
+        raise StorageError(f"{path}: inconsistent segments ({exc})") from None
+
+
+def load_compressed(path: PathLike, name: Optional[str] = None) -> CompressedColumn:
+    """Read a ``.colz`` sidecar back; raises :class:`StorageError` on any
+    corruption (the caller decides whether to quarantine)."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise StorageError(f"compressed sidecar not found: {path}") from None
+    return _parse_compressed(raw, path, name=name or path.stem)
+
+
+def _attach_sidecar(
+    column: Column,
+    values: NDArray[Any],
+    path: Path,
+    issues: Optional[List[str]],
+) -> None:
+    """Adopt a column's ``.colz`` sidecar if it is present and fresh.
+
+    A corrupt sidecar is quarantined and the mirror re-encoded from the
+    just-loaded source column (same contract as the imprint quarantine
+    path: the plain data always wins, the derived artifact is rebuilt).
+    A stale sidecar — row count or ``source_crc`` not matching the plain
+    payload — is simply ignored; the next save rewrites it.
+    """
+    if not path.exists():
+        return
+    try:
+        packed = load_compressed(path, name=column.name)
+    except StorageError as exc:
+        where = durable.quarantine_file(path, reason=str(exc))
+        message = f"quarantined corrupt sidecar {path.name}: {exc}"
+        warnings.warn(
+            f"{message} (moved to {where.name})", RuntimeWarning, stacklevel=4
+        )
+        if issues is not None:
+            issues.append(message)
+        column.pack()
+        return
+    if packed.n_rows != values.shape[0] or (
+        packed.source_crc and packed.source_crc != column_payload_crc(values)
+    ):
+        return
+    column.adopt_packed(packed)
 
 
 # -- column / table persistence ---------------------------------------------
@@ -194,15 +417,32 @@ def save_table(table: Table, directory: PathLike) -> int:
     goes last, so ``schema.json``'s row count is only ever updated once
     every column holding those rows is durable.  Returns total bytes
     written (excluding the schema file).
+
+    Columns with a compressed execution mirror also get a ``.colz``
+    sidecar, written right after their ``.col`` file; an existing sidecar
+    whose column has no live mirror is re-packed so the pair never
+    drifts.  A crash between the two writes leaves a stale sidecar,
+    which the ``source_crc`` check at load time ignores.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     total = 0
     for name, filename in table_dir_layout(table).items():
-        total += save_column(table.column(name), directory / filename)
+        column = table.column(name)
+        total += save_column(column, directory / filename)
         durable.crash_point(
             "storage.table.column_saved", table=table.name, column=name
         )
+        side = sidecar_path(directory, name)
+        packed = column.packed
+        if packed is None and side.exists():
+            packed = column.pack()
+        if packed is not None:
+            crc = column_payload_crc(np.asarray(column.values))
+            if packed.source_crc != crc:
+                packed = dataclasses.replace(packed, source_crc=crc)
+                column.adopt_packed(packed)
+            total += dump_compressed(packed, side)
     meta = {"name": table.name, "schema": table.schema, "rows": len(table)}
     durable.atomic_write_text(
         directory / "schema.json", json.dumps(meta, indent=2), label="schema"
@@ -210,12 +450,17 @@ def save_table(table: Table, directory: PathLike) -> int:
     return total
 
 
-def load_table(directory: PathLike) -> Table:
+def load_table(
+    directory: PathLike, sidecar_issues: Optional[List[str]] = None
+) -> Table:
     """Load a table persisted with :func:`save_table` (strict).
 
     Any missing/corrupt column or row-count mismatch raises
     :class:`StorageError`; :func:`recover_table` is the tolerant variant
-    used by crash recovery.
+    used by crash recovery.  Compressed ``.colz`` sidecars are attached
+    as execution mirrors when fresh; a *corrupt* sidecar never fails the
+    load — it is quarantined, noted in ``sidecar_issues`` (when given),
+    and re-encoded from the plain column.
     """
     directory = Path(directory)
     meta_path = directory / "schema.json"
@@ -243,6 +488,13 @@ def load_table(directory: PathLike) -> Table:
         raise StorageError(
             f"{directory}: schema.json says {meta['rows']} rows, "
             f"column files hold {len(table)}"
+        )
+    for name, _type in table.schema:
+        _attach_sidecar(
+            table.column(name),
+            batch[name],
+            sidecar_path(directory, name),
+            sidecar_issues,
         )
     return table
 
@@ -291,6 +543,13 @@ def recover_table(directory: PathLike) -> Tuple[Table, List[str]]:
             batch[name] = arr[:target]
     if batch:
         table.append_columns(batch)
+    for name, _type in table.schema:
+        _attach_sidecar(
+            table.column(name),
+            batch[name],
+            sidecar_path(directory, name),
+            issues,
+        )
     return table, issues
 
 
@@ -322,7 +581,35 @@ def verify_table(directory: PathLike) -> List[str]:
                 f"{directory / (name + '.col')}: holds {arr.shape[0]} rows, "
                 f"schema.json says {rows}"
             )
+        issues.extend(_verify_sidecar(directory, name, arr))
     return issues
+
+
+def _verify_sidecar(directory: Path, name: str, arr: NDArray[Any]) -> List[str]:
+    """Issues with a column's ``.colz`` sidecar, if one exists: the file
+    CRC must verify, every segment must decode, and the decoded values
+    must equal the plain column exactly."""
+    side = sidecar_path(directory, name)
+    if not side.exists():
+        return []
+    try:
+        packed = load_compressed(side, name=name)
+    except StorageError as exc:
+        return [str(exc)]
+    if packed.n_rows != arr.shape[0]:
+        return [
+            f"{side}: stale sidecar ({packed.n_rows} rows, column holds "
+            f"{arr.shape[0]})"
+        ]
+    if packed.source_crc and packed.source_crc != column_payload_crc(arr):
+        return [f"{side}: stale sidecar (source checksum mismatch)"]
+    try:
+        decoded = packed.decode_all()
+    except CompressionError as exc:
+        return [f"{side}: undecodable segment ({exc})"]
+    if not np.array_equal(decoded, arr):
+        return [f"{side}: decoded values differ from {name}.col"]
+    return []
 
 
 def copy_binary(table: Table, column_files: Dict[str, PathLike]) -> int:

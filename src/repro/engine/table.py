@@ -133,6 +133,47 @@ class Table:
         for column in self._columns.values():
             column.truncate(n)
 
+    # -- compressed execution ----------------------------------------------
+
+    def compress(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        segment_rows: Optional[int] = None,
+        scheme: str = "auto",
+    ) -> Dict[str, str]:
+        """Build compressed execution mirrors for the given columns (all
+        by default); returns ``{column: dominant scheme}``.
+
+        Mirrors are invalidated automatically by appends/truncates and
+        rebuilt at the next :func:`compress` (or at save time by the
+        storage layer), so calling this after bulk load is enough.
+        """
+        names = list(columns) if columns is not None else self.column_names
+        report: Dict[str, str] = {}
+        for name in names:
+            packed = self.column(name).pack(segment_rows=segment_rows, scheme=scheme)
+            counts = packed.scheme_counts()
+            report[name] = (
+                max(counts, key=lambda k: counts[k]) if counts else "plain"
+            )
+        return report
+
+    def compression_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-column compression state: scheme mix and byte footprints
+        for every column that currently has a packed mirror."""
+        report: Dict[str, Dict[str, object]] = {}
+        for name in self.column_names:
+            packed = self.column(name).packed
+            if packed is None:
+                continue
+            report[name] = {
+                "schemes": packed.scheme_counts(),
+                "nbytes": packed.nbytes,
+                "plain_nbytes": packed.plain_nbytes,
+                "segments": len(packed.blocks),
+            }
+        return report
+
     # -- access ------------------------------------------------------------
 
     def fetch(

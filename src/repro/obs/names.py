@@ -17,6 +17,10 @@ from typing import FrozenSet
 #: Monotonic event counts.
 COUNTERS: FrozenSet[str] = frozenset(
     {
+        "compression.decoded_blocks",
+        "compression.encoded_blocks",
+        "compression.materialized_bytes_saved",
+        "compression.packed_predicate_hits",
         "durability.checksum_failures",
         "durability.quarantines",
         "durability.retries",
@@ -48,6 +52,8 @@ GAUGES: FrozenSet[str] = frozenset(
 #: Latency / size distributions.
 HISTOGRAMS: FrozenSet[str] = frozenset(
     {
+        "compression.decode_seconds",
+        "compression.encode_seconds",
         "imprints.build_seconds",
         "load.seconds",
         "query.cpu_seconds",

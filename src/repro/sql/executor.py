@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.imprints import ImprintsManager
 from ..core.query import SpatialSelect
+from ..engine.select import range_select as engine_range_select
 from ..engine.table import Table
 from ..gis.geometry import Geometry
 from ..obs.metrics import get_registry
@@ -531,9 +532,12 @@ def _match_range(
 
     Returns ``(column, lo_expr, hi_expr, lo_inclusive, hi_inclusive)``
     (either bound may be None) for patterns like ``t.z > c``,
-    ``c >= t.z``, ``t.z = c`` and ``t.z BETWEEN a AND b``.
+    ``c >= t.z``, ``t.z = c`` and ``t.z BETWEEN a AND b``.  Pushable
+    means the relation can serve the range from an index-shaped access
+    path: an imprints manager, or a compressed execution mirror whose
+    packed segments the select kernels scan directly.
     """
-    if relation.table is None or relation.manager is None:
+    if relation.table is None:
         return None
 
     def own_column(node: ast.Node) -> Optional[str]:
@@ -545,6 +549,12 @@ def _match_range(
             return None
         # Imprints only make sense on numeric columns.
         if relation.columns[node.name].dtype == object:
+            return None
+        if relation.manager is None and (
+            relation.table is None
+            or node.name not in relation.table
+            or relation.table.column(node.name).packed is None
+        ):
             return None
         return node.name
 
@@ -586,6 +596,24 @@ class _ProbeStats:
         self.n_segments_skipped = 0
         self.n_segments_probed = 0
         self.imprint_build_seconds = 0.0
+
+
+def _range_via_packed(relation: Relation, name: str) -> bool:
+    """Serve a pushed range from the column's packed segments?
+
+    A *built* imprint still wins (bit-level filtering beats zone maps on
+    straddling segments); otherwise an existing compressed mirror is
+    used as-is instead of paying a lazy imprint build — its encode-time
+    zone maps already prune segments, and the packed kernels evaluate
+    the rest without decoding.
+    """
+    if relation.table is None or name not in relation.table:
+        return False
+    if relation.table.column(name).packed is None:
+        return False
+    if relation.manager is None:
+        return True
+    return relation.manager.get(relation.table, name) is None
 
 
 def _filter_relation(
@@ -669,21 +697,29 @@ def _filter_relation_inner(
             with maybe_span(
                 "filter.range", column=name, expr=_describe_expr(conjunct)
             ) as range_span:
-                probe_stats = _ProbeStats()
-                candidates = relation.manager.range_select(
-                    relation.table,
-                    name,
-                    lo,
-                    hi,
-                    lo_inc,
-                    hi_inc,
-                    stats=probe_stats,
-                )
-                range_span.set(
-                    rows_out=int(candidates.shape[0]),
-                    segments_skipped=probe_stats.n_segments_skipped,
-                    segments_probed=probe_stats.n_segments_probed,
-                )
+                if _range_via_packed(relation, name):
+                    candidates = engine_range_select(
+                        relation.table.column(name), lo, hi, lo_inc, hi_inc
+                    )
+                    range_span.set(
+                        rows_out=int(candidates.shape[0]), access="packed"
+                    )
+                else:
+                    probe_stats = _ProbeStats()
+                    candidates = relation.manager.range_select(
+                        relation.table,
+                        name,
+                        lo,
+                        hi,
+                        lo_inc,
+                        hi_inc,
+                        stats=probe_stats,
+                    )
+                    range_span.set(
+                        rows_out=int(candidates.shape[0]),
+                        segments_skipped=probe_stats.n_segments_skipped,
+                        segments_probed=probe_stats.n_segments_probed,
+                    )
             del residual[position]
             break
 
@@ -1111,8 +1147,13 @@ def _explain_relation_access(
             matched = _match_range(conjunct, binding, relation)
             if matched is not None:
                 column = matched[0]
+                access = (
+                    "packed segments"
+                    if _range_via_packed(relation, column)
+                    else "imprint"
+                )
                 lines.append(
-                    f"  range filter via imprint on {column!r}: "
+                    f"  range filter via {access} on {column!r}: "
                     f"{_describe_expr(conjunct)}"
                 )
                 residual.remove(conjunct)

@@ -6,16 +6,23 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.compression import (
+    SCHEMES,
     CompressionError,
     best_scheme,
+    choose_scheme,
     decode,
     delta_zlib_decode,
     delta_zlib_encode,
     dict_decode,
     dict_encode,
     encode,
+    encode_adaptive,
     for_decode,
     for_encode,
+    for_parts,
+    int_bounds,
+    plain_decode,
+    plain_encode,
     rle_decode,
     rle_encode,
 )
@@ -85,6 +92,119 @@ class TestFOR:
         assert for_decode(block).shape == (0,)
 
 
+class TestFOREdgeCases:
+    """Regressions for the encoder rewrite: spans that overflow int64,
+    extreme dtypes, and the unsigned reference image."""
+
+    def test_int64_span_overflow(self):
+        # max - min overflows a signed 64-bit subtraction; the modular
+        # uint64 frame must still round-trip exactly.
+        vals = np.array([-(2**62), 2**62, 0, -1], dtype=np.int64)
+        block = for_encode(vals)
+        np.testing.assert_array_equal(for_decode(block), vals)
+
+    def test_int64_extremes(self):
+        vals = np.array(
+            [np.iinfo(np.int64).min, np.iinfo(np.int64).max], dtype=np.int64
+        )
+        block = for_encode(vals)
+        np.testing.assert_array_equal(for_decode(block), vals)
+
+    def test_uint64_above_2_63(self):
+        vals = np.array([2**63 + 5, 2**64 - 1, 2**63], dtype=np.uint64)
+        block = for_encode(vals)
+        decoded = for_decode(block)
+        assert decoded.dtype == np.uint64
+        np.testing.assert_array_equal(decoded, vals)
+
+    def test_reference_recovers_sign(self):
+        # The stored reference is a uint64 image; for_parts must hand the
+        # caller back the signed value for signed columns.
+        vals = np.array([-7, -3, -5], dtype=np.int64)
+        reference, offsets = for_parts(for_encode(vals))
+        assert reference == -7
+        np.testing.assert_array_equal(
+            offsets.astype(np.int64) + reference, vals
+        )
+
+    def test_constant_column(self):
+        vals = np.full(100, 42, dtype=np.int64)
+        block = for_encode(vals)
+        np.testing.assert_array_equal(for_decode(block), vals)
+        # Constant column: all offsets zero, packed to one byte each.
+        _, offsets = for_parts(block)
+        assert offsets.dtype == np.uint8
+        assert not offsets.any()
+
+    def test_non_contiguous_view(self):
+        base = np.arange(1000, dtype=np.int64)
+        for view in (base[::2], base[::-1], base[10:500:7]):
+            np.testing.assert_array_equal(for_decode(for_encode(view)), view)
+
+
+class TestPlain:
+    def test_round_trip(self):
+        vals = np.array([3.5, -1.0, 2.25])
+        block = plain_encode(vals)
+        np.testing.assert_array_equal(plain_decode(block), vals)
+
+    def test_empty(self):
+        block = plain_encode(np.empty(0, dtype=np.int32))
+        assert plain_decode(block).shape == (0,)
+
+    def test_nbytes_matches_raw(self):
+        vals = np.arange(100, dtype=np.int64)
+        assert plain_encode(vals).plain_nbytes == vals.nbytes
+
+
+class TestChooseScheme:
+    def test_runs_pick_rle(self):
+        vals = np.repeat(np.arange(4, dtype=np.int64), 5000)
+        assert choose_scheme(vals) == "rle"
+
+    def test_low_cardinality_picks_dict(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 5, 20_000).astype(np.int64)
+        vals = vals[np.argsort(rng.random(vals.shape[0]))]  # break runs
+        assert choose_scheme(vals) == "dict"
+
+    def test_integers_pick_for(self):
+        rng = np.random.default_rng(1)
+        assert choose_scheme(rng.integers(0, 10**6, 20_000)) == "for"
+
+    def test_floats_pick_delta(self):
+        rng = np.random.default_rng(2)
+        assert choose_scheme(rng.normal(size=20_000)) == "delta_zlib"
+
+    def test_empty_picks_plain(self):
+        assert choose_scheme(np.empty(0, dtype=np.int64)) == "plain"
+
+    def test_adaptive_round_trips(self):
+        rng = np.random.default_rng(3)
+        vals = rng.integers(-100, 100, 5000).astype(np.int64)
+        block = encode_adaptive(vals)
+        np.testing.assert_array_equal(decode(block), vals)
+
+
+class TestIntBounds:
+    def test_integer_bounds_pass_through(self):
+        assert int_bounds(3, 9, True, True) == (3, 9)
+
+    def test_exclusive_integers_tighten(self):
+        assert int_bounds(3, 9, False, False) == (4, 8)
+
+    def test_float_bounds_round_inward(self):
+        assert int_bounds(2.5, 7.5, True, True) == (3, 7)
+        assert int_bounds(2.5, 7.5, False, False) == (3, 7)
+
+    def test_integral_floats_exclusive(self):
+        assert int_bounds(2.0, 7.0, False, False) == (3, 6)
+
+    def test_open_ends(self):
+        assert int_bounds(None, 5, True, True) == (None, 5)
+        assert int_bounds(5, None, True, True) == (5, None)
+
+
 class TestDeltaZlib:
     def test_int_round_trip(self):
         vals = np.cumsum(np.ones(500, dtype=np.int64)) * 3
@@ -140,8 +260,12 @@ class TestDispatch:
 
 @settings(max_examples=50, deadline=None)
 @given(
-    values=st.lists(st.integers(-(2**40), 2**40), min_size=0, max_size=200),
-    scheme=st.sampled_from(["rle", "dict", "for", "delta_zlib"]),
+    values=st.lists(
+        st.integers(np.iinfo(np.int64).min, np.iinfo(np.int64).max),
+        min_size=0,
+        max_size=200,
+    ),
+    scheme=st.sampled_from(["rle", "dict", "for", "delta_zlib", "plain"]),
 )
 def test_all_schemes_round_trip_integers(values, scheme):
     vals = np.array(values, dtype=np.int64)
@@ -152,13 +276,63 @@ def test_all_schemes_round_trip_integers(values, scheme):
 @settings(max_examples=50, deadline=None)
 @given(
     values=st.lists(
+        st.integers(0, 2**64 - 1), min_size=0, max_size=200
+    ),
+    scheme=st.sampled_from(["rle", "dict", "for", "delta_zlib", "plain"]),
+)
+def test_all_schemes_round_trip_uint64(values, scheme):
+    vals = np.array(values, dtype=np.uint64)
+    block = encode(scheme, vals)
+    decoded = decode(block)
+    assert decoded.dtype == np.uint64
+    np.testing.assert_array_equal(decoded, vals)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
         st.floats(allow_nan=False, allow_infinity=False, width=64),
         min_size=0,
         max_size=100,
     ),
-    scheme=st.sampled_from(["rle", "dict", "delta_zlib"]),
+    scheme=st.sampled_from(["rle", "dict", "delta_zlib", "plain"]),
 )
 def test_float_schemes_round_trip(values, scheme):
     vals = np.array(values, dtype=np.float64)
     block = encode(scheme, vals)
     np.testing.assert_array_equal(decode(block), vals)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=0,
+        max_size=100,
+    ),
+    scheme=st.sampled_from(["rle", "dict", "delta_zlib", "plain"]),
+)
+def test_float32_schemes_round_trip(values, scheme):
+    vals = np.array(values, dtype=np.float32)
+    block = encode(scheme, vals)
+    decoded = decode(block)
+    assert decoded.dtype == np.float32
+    np.testing.assert_array_equal(decoded, vals)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(np.iinfo(np.int64).min, np.iinfo(np.int64).max),
+        min_size=0,
+        max_size=120,
+    ),
+    step=st.integers(1, 3),
+    scheme=st.sampled_from(sorted(SCHEMES)),
+)
+def test_strided_views_round_trip(values, step, scheme):
+    """Every scheme must accept a non-contiguous view of its input."""
+    base = np.array(values, dtype=np.int64)
+    view = base[::step]
+    block = encode(scheme, view)
+    np.testing.assert_array_equal(decode(block), view)
