@@ -43,6 +43,8 @@ class Config:
         {
             "repro/obs/metrics.py",
             "repro/obs/trace.py",
+            "repro/obs/context.py",
+            "repro/obs/queries.py",
             "repro/engine/parallel.py",
             "repro/core/imprints/manager.py",
         }
@@ -63,6 +65,8 @@ class Config:
         }
     )
     #: R5/R6: obs modules themselves are exempt (they *are* the helpers).
+    #: Deliberately narrow: ``repro/obs/queries.py`` is *not* here, so
+    #: the lifecycle counters it emits stay subject to the R6 registry.
     obs_modules: FrozenSet[str] = frozenset(
         {
             "repro/obs/__init__.py",
@@ -70,6 +74,8 @@ class Config:
             "repro/obs/metrics.py",
             "repro/obs/timing.py",
             "repro/obs/names.py",
+            "repro/obs/_context_state.py",
+            "repro/obs/context.py",
         }
     )
     #: R6: declared metric names; ``None`` loads :mod:`repro.obs.names`.

@@ -28,7 +28,7 @@ from .engine.catalog import Database
 from .engine.table import Table
 from .las.binloader import LoadStats, create_flat_table, load_arrays, load_files
 from .gis.predicates import geometry_envelope
-from .obs.metrics import get_registry
+from .obs.context import ObsContext, default_context
 from .obs.slowlog import (
     DEFAULT_LOG_NAME,
     SlowQueryLog,
@@ -53,7 +53,7 @@ class PointCloudDB:
         (``None`` = all cores, ``1`` = serial).  Every query may override
         it with ``threads=``; results are identical either way.
     tracing:
-        ``True`` enables the process-wide span tracer (``False`` disables
+        ``True`` enables this database's span tracer (``False`` disables
         it); ``None`` leaves it as-is (the ``REPRO_TRACE`` env var
         default).  Tracing off costs one attribute check per span site.
     slow_query_s:
@@ -66,6 +66,13 @@ class PointCloudDB:
         The JSONL file for slow-query records.  Defaults to
         ``REPRO_SLOW_QUERY_LOG``, else ``slow-query.jsonl`` next to the
         database directory (or the working directory without one).
+    obs:
+        The :class:`~repro.obs.context.ObsContext` this database's
+        queries run under — its tracer, metrics registry and query
+        registry.  Defaults to the process-wide default context
+        (wrapping the module singletons, the pre-context behaviour);
+        pass ``ObsContext.fresh()`` to observe two databases in one
+        process independently.
     """
 
     def __init__(
@@ -75,14 +82,16 @@ class PointCloudDB:
         tracing: Optional[bool] = None,
         slow_query_s: Optional[float] = None,
         slow_query_log: Optional[PathLike] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.db = Database(directory=directory)
         self.threads = threads
         self.manager = ImprintsManager(threads=threads)
         self._selects: Dict[str, SpatialSelect] = {}
         self._vector_relations: Dict[str, Dict] = {}
+        self.obs = obs if obs is not None else default_context()
         if tracing is not None:
-            tracer = get_tracer()
+            tracer = self.obs.tracer
             tracer.enable() if tracing else tracer.disable()
         if slow_query_s is None:
             slow_query_s = threshold_from_env()
@@ -135,7 +144,8 @@ class PointCloudDB:
         """Two-step (imprints filter + grid refine) spatial selection.
 
         Accepts the :meth:`SpatialSelect.query` keywords, including
-        ``threads=`` to override the database default for one query.
+        ``threads=`` to override the database default for one query and
+        ``timeout_s=`` for a cooperative deadline.
         """
         try:
             select = self._selects[name]
@@ -144,28 +154,33 @@ class PointCloudDB:
                 self.db.table(name), manager=self.manager, threads=self.threads
             )
             self._selects[name] = select
-        if self.slow_log is None:
-            return select.query(geometry, predicate, distance, **kwargs)
-        env = geometry_envelope(geometry)
-        with self.slow_log.observe(
-            "spatial",
-            table=name,
-            predicate=predicate,
-            bbox=[env.xmin, env.ymin, env.xmax, env.ymax],
-        ) as observation:
-            result = select.query(geometry, predicate, distance, **kwargs)
-            observation.set(
-                rows=len(result),
-                stats={
-                    "filter_seconds": result.stats.filter_seconds,
-                    "refine_seconds": result.stats.refine_seconds,
-                    "imprint_build_seconds": result.stats.imprint_build_seconds,
-                    "n_filter_candidates": result.stats.n_filter_candidates,
-                    "n_segments_skipped": result.stats.n_segments_skipped,
-                    "n_segments_probed": result.stats.n_segments_probed,
-                },
-                resources=result.stats.resources.to_dict(),
-            )
+        with self.obs.activate():
+            if self.slow_log is None:
+                return select.query(geometry, predicate, distance, **kwargs)
+            env = geometry_envelope(geometry)
+            with self.slow_log.observe(
+                "spatial",
+                table=name,
+                predicate=predicate,
+                bbox=[env.xmin, env.ymin, env.xmax, env.ymax],
+            ) as observation:
+                result = select.query(geometry, predicate, distance, **kwargs)
+                usage = result.stats.resources
+                observation.set(
+                    query_id=result.stats.query_id,
+                    rows=len(result),
+                    stats={
+                        "filter_seconds": result.stats.filter_seconds,
+                        "refine_seconds": result.stats.refine_seconds,
+                        "imprint_build_seconds": result.stats.imprint_build_seconds,
+                        "n_filter_candidates": result.stats.n_filter_candidates,
+                        "n_segments_skipped": result.stats.n_segments_skipped,
+                        "n_segments_probed": result.stats.n_segments_probed,
+                    },
+                    resources=usage.to_dict(),
+                    encoded_bytes=usage.encoded_bytes,
+                    materialized_bytes=usage.materialized_bytes,
+                )
         return result
 
     # -- SQL ---------------------------------------------------------------------------
@@ -185,26 +200,36 @@ class PointCloudDB:
         imprints persist across calls via the shared manager (they belong
         to the columns, not the session).
         """
-        session = Session(manager=self.manager)
+        session = Session(manager=self.manager, obs=self.obs)
         for name in self.db.table_names:
             session.register_table(self.db.table(name))
         for name, columns in self._vector_relations.items():
             session.register_columns(name, columns)
         return session
 
-    def sql(self, query: str) -> Result:
-        """Run a SQL query over the point clouds and vector relations."""
+    def sql(self, query: str, timeout_s: Optional[float] = None) -> Result:
+        """Run a SQL query over the point clouds and vector relations.
+
+        ``timeout_s`` arms a cooperative deadline; a query that outruns
+        it raises :class:`~repro.obs.queries.QueryCancelled`.
+        """
         session = self._session()
-        if self.slow_log is None:
-            return session.execute(query)
-        with self.slow_log.observe("sql", sql=query.strip()) as observation:
-            result = session.execute(query)
-            usage = session.last_resources
-            observation.set(
-                rows=len(result.rows),
-                profile=dict(session.last_profile),
-                resources=usage.to_dict() if usage is not None else None,
-            )
+        with self.obs.activate():
+            if self.slow_log is None:
+                return session.execute(query, timeout_s=timeout_s)
+            with self.slow_log.observe("sql", sql=query.strip()) as observation:
+                result = session.execute(query, timeout_s=timeout_s)
+                usage = session.last_resources
+                observation.set(
+                    query_id=session.last_query_id,
+                    rows=len(result.rows),
+                    profile=dict(session.last_profile),
+                    resources=usage.to_dict() if usage is not None else None,
+                    encoded_bytes=usage.encoded_bytes if usage is not None else 0,
+                    materialized_bytes=(
+                        usage.materialized_bytes if usage is not None else 0
+                    ),
+                )
         return result
 
     def explain(self, query: str) -> str:
@@ -219,12 +244,18 @@ class PointCloudDB:
     # -- observability ----------------------------------------------------------------
 
     def trace_spans(self):
-        """Finished spans currently in the tracer's ring buffer."""
-        return get_tracer().spans()
+        """Finished spans currently in this database's tracer ring."""
+        return self.obs.tracer.spans()
 
     def metrics(self) -> Dict[str, Dict]:
-        """Snapshot of the process-wide metrics registry."""
-        return get_registry().snapshot()
+        """Snapshot of this database's metrics registry."""
+        return self.obs.registry.snapshot()
+
+    def active_queries(self) -> Dict[str, list]:
+        """Live view of this database's query registry: in-flight query
+        records plus the recent finished ring (what ``/debug/queries``
+        serves)."""
+        return self.obs.queries.snapshot()
 
     # -- reporting ----------------------------------------------------------------------
 

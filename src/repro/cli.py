@@ -180,12 +180,22 @@ def _open_db(db_dir: str, threads: Optional[int] = None):
 def _cmd_query(args: argparse.Namespace) -> int:
     from .gis.wkt import loads
 
+    from .obs.queries import QueryCancelled
+
     db = _open_db(args.db, threads=args.threads)
     geometry = loads(args.wkt)
     start = time.perf_counter()
-    result = db.spatial_select(
-        args.table, geometry, predicate=args.predicate, distance=args.distance
-    )
+    try:
+        result = db.spatial_select(
+            args.table,
+            geometry,
+            predicate=args.predicate,
+            distance=args.distance,
+            timeout_s=args.timeout,
+        )
+    except QueryCancelled as exc:
+        print(f"cancelled: {exc}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - start
     print(f"{len(result)} points in {elapsed * 1e3:.2f} ms")
     stats = result.stats
@@ -215,6 +225,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_sql(args: argparse.Namespace) -> int:
+    from .obs.queries import QueryCancelled
+
     db = _open_db(args.db, threads=args.threads)
     if args.explain:
         print(db.explain(args.query))
@@ -223,7 +235,11 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         print(db.explain_analyze(args.query))
         return 0
     start = time.perf_counter()
-    result = db.sql(args.query)
+    try:
+        result = db.sql(args.query, timeout_s=args.timeout)
+    except QueryCancelled as exc:
+        print(f"cancelled: {exc}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - start
     print("  ".join(result.columns))
     for row in result.rows[: args.limit]:
@@ -401,7 +417,7 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     server.start()
     print(
         f"serving OpenMetrics on {server.url}/metrics "
-        f"(also /healthz, /debug/trace)",
+        f"(also /healthz, /debug/trace, /debug/queries)",
         flush=True,
     )
     try:
@@ -414,6 +430,48 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_queries(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    url = args.url if args.url else f"http://127.0.0.1:{args.port}"
+    endpoint = url.rstrip("/") + "/debug/queries"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=5.0) as response:
+            snapshot = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: cannot fetch {endpoint}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    active = snapshot.get("active", [])
+    recent = snapshot.get("recent", [])
+    print(f"active ({len(active)}):")
+    header = f"  {'id':<18} {'kind':<8} {'phase':<10} {'prog':>6} {'elapsed':>9}"
+    if active:
+        print(header)
+    for query in active:
+        print(
+            f"  {query.get('query_id', '?'):<18}"
+            f" {query.get('kind', '?'):<8}"
+            f" {query.get('phase', '?'):<10}"
+            f" {query.get('progress', 0.0) * 100:>5.1f}%"
+            f" {query.get('elapsed_s', 0.0):>8.3f}s"
+        )
+    print(f"recent ({len(recent)}):")
+    for query in recent:
+        print(
+            f"  {query.get('query_id', '?'):<18}"
+            f" {query.get('kind', '?'):<8}"
+            f" {query.get('status', '?'):<10}"
+            f" {query.get('elapsed_s', 0.0):>8.3f}s"
+            f"  {query.get('detail') or ''}"
+        )
     return 0
 
 
@@ -540,6 +598,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distance", type=float, default=0.0)
     p.add_argument("--show", type=int, default=0, help="print first N hits")
     p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="cooperative deadline in seconds (cancel when exceeded)",
+    )
+    p.add_argument(
         "--threads",
         type=int,
         default=None,
@@ -558,6 +623,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--analyze",
         action="store_true",
         help="run the query under the tracer and print the operator tree",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="cooperative deadline in seconds (cancel when exceeded)",
     )
     p.add_argument(
         "--threads",
@@ -633,7 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve-metrics",
         help="serve the metrics registry over HTTP "
-        "(/metrics OpenMetrics, /healthz, /debug/trace)",
+        "(/metrics OpenMetrics, /healthz, /debug/trace, /debug/queries)",
     )
     p.add_argument(
         "db",
@@ -663,6 +735,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the loaded database",
     )
     p.set_defaults(fn=_cmd_serve_metrics)
+
+    p = sub.add_parser(
+        "queries",
+        help="show in-flight and recent queries from a telemetry server",
+    )
+    p.add_argument(
+        "--url",
+        default=None,
+        help="server base URL (default: http://127.0.0.1:<port>)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=9464,
+        help="server port when --url is not given (default: 9464)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="raw JSON snapshot instead of a table"
+    )
+    p.set_defaults(fn=_cmd_queries)
 
     p = sub.add_parser(
         "slowlog", help="pretty-print a slow-query JSONL log"

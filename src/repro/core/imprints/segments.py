@@ -24,7 +24,7 @@ Segments are the unit of everything the engine wants to scale:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from numpy.typing import NDArray
@@ -32,6 +32,7 @@ from numpy.typing import NDArray
 from ...engine.column import Column
 from ...engine.kernels import ZONE_FULL, ZONE_PROBE, ZONE_SKIP, zone_verdict
 from ...engine.parallel import run_tasks
+from ...obs import queries as _queries
 from ...obs import resources
 from . import bitvec, dictionary
 from .histogram import DEFAULT_SAMPLE, MAX_BINS, BinScheme, build_bins
@@ -46,6 +47,13 @@ DEFAULT_SEGMENT_ROWS = 64 * 1024
 #: Zone-map verdicts — shared with the compressed-execution kernels so
 #: segment pruning has exactly one algebra (:mod:`repro.engine.kernels`).
 _SKIP, _FULL, _PROBE = ZONE_SKIP, ZONE_FULL, ZONE_PROBE
+
+#: Test-injection point: called with each segment just before its probe
+#: runs.  The live-introspection tests install a sleeping hook here to
+#: make scans slow enough to watch ``/debug/queries`` progress tick and
+#: to land deadline checks mid-scan.  ``None`` (production) costs one
+#: read per probe.
+probe_hook: Optional[Callable[["SegmentImprint"], None]] = None
 
 
 @dataclass
@@ -383,6 +391,14 @@ class SegmentedImprints:
         if stats is not None:
             stats.n_segments_probed += len(probe_segments)
             stats.n_segments_skipped += len(verdicts) - len(probe_segments)
+        active = _queries.current_query()
+        if active is not None:
+            # Live progress: the denominator is every segment of this
+            # scan; zone-map skips and wholesale accepts complete
+            # instantly, probes tick one-by-one as they finish below.
+            active.add_segments(
+                total=len(verdicts), done=len(verdicts) - len(probe_segments)
+            )
         tracker = resources.current()
         if tracker is not None and probe_segments:
             # Only probed segments' data is read; zone-map skips and
@@ -393,11 +409,22 @@ class SegmentedImprints:
                 rows=int(probe_rows),
                 nbytes=int(probe_rows * values.itemsize),
             )
-        probed = run_tasks(
-            lambda seg: self._probe(values, seg, lo, hi, lo_inclusive, hi_inclusive),
-            probe_segments,
-            threads=threads,
-        )
+            tracker.add_scan_bytes(
+                materialized=int(probe_rows * values.itemsize)
+            )
+        hook = probe_hook
+
+        def probe_one(seg: SegmentImprint) -> NDArray[Any]:
+            if active is not None:
+                active.check_deadline()
+            if hook is not None:
+                hook(seg)
+            piece = self._probe(values, seg, lo, hi, lo_inclusive, hi_inclusive)
+            if active is not None:
+                active.add_segments(done=1)
+            return piece
+
+        probed = run_tasks(probe_one, probe_segments, threads=threads)
         probed_iter = iter(probed)
         pieces: List[NDArray[Any]] = []
         for seg, verdict in zip(self.segments, verdicts):

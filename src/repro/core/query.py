@@ -28,6 +28,7 @@ from ..engine.table import Table
 from ..gis.envelope import Box
 from ..gis.predicates import geometry_envelope, points_satisfy
 from ..obs.metrics import get_registry
+from ..obs.queries import current_query, get_queries
 from ..obs.resources import ResourceTracker, ResourceUsage
 from ..obs.timing import now
 from ..obs.trace import maybe_span
@@ -66,6 +67,10 @@ class QueryStats:
     #: What the query *consumed* (CPU seconds incl. morsel workers, peak
     #: allocations, rows/bytes touched) — see :mod:`repro.obs.resources`.
     resources: ResourceUsage = field(default_factory=ResourceUsage)
+    #: Registry identity of this execution (``""`` for the untracked
+    #: empty-table fast path) — the id ``/debug/queries``, the slow log
+    #: and the flight recorder all report.
+    query_id: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -192,6 +197,7 @@ class SpatialSelect:
         z_column: Optional[str] = None,
         z_range: Optional[tuple] = None,
         threads: Optional[int] = None,
+        timeout_s: Optional[float] = None,
     ) -> QueryResult:
         """Rows whose point satisfies ``predicate`` against ``geometry``.
 
@@ -209,6 +215,11 @@ class SpatialSelect:
         ``threads`` overrides the select's default worker count for this
         query only; whatever the value, the oid array is identical to the
         serial (``threads=1``) result.
+
+        ``timeout_s`` arms a cooperative deadline, checked at morsel and
+        segment boundaries: a query that outruns it raises
+        :class:`~repro.obs.queries.QueryCancelled` and its registry
+        record is marked ``cancelled``.
         """
         threads = threads if threads is not None else self.threads
         if len(self.table) == 0:
@@ -221,18 +232,25 @@ class SpatialSelect:
         # operators while open; the histogram is observed after exit,
         # once the caller-thread delta has landed.
         tracker = ResourceTracker()
-        with tracker:
-            result = self._query_traced(
-                geometry,
-                predicate,
-                distance,
-                use_imprints,
-                use_grid,
-                z_column,
-                z_range,
-                threads,
-            )
+        with get_queries().track(
+            "spatial",
+            detail={"table": self.table.name, "predicate": predicate},
+            timeout_s=timeout_s,
+            tracker=tracker,
+        ) as active:
+            with tracker:
+                result = self._query_traced(
+                    geometry,
+                    predicate,
+                    distance,
+                    use_imprints,
+                    use_grid,
+                    z_column,
+                    z_range,
+                    threads,
+                )
         result.stats.resources = tracker.usage
+        result.stats.query_id = active.query_id
         get_registry().histogram("query.cpu_seconds").observe(
             tracker.usage.cpu_seconds
         )
@@ -252,6 +270,13 @@ class SpatialSelect:
         with maybe_span(
             "query.spatial", table=self.table.name, predicate=predicate
         ) as query_span:
+            active = current_query()
+            if active is not None:
+                query_span.set(query_id=active.query_id)
+                trace_id = getattr(query_span, "trace_id", 0)
+                if trace_id:
+                    active.set_trace(int(trace_id))
+                active.set_phase("filter")
             stats = QueryStats(
                 n_rows=len(self.table),
                 used_imprints=use_imprints,
@@ -316,6 +341,8 @@ class SpatialSelect:
                 self._record_metrics(stats)
                 return QueryResult(oids=candidates, stats=stats)
 
+            if active is not None:
+                active.set_phase("refine")
             with maybe_span("query.refine") as refine_span:
                 xs = self.table.column(self.x_column).take(candidates)
                 ys = self.table.column(self.y_column).take(candidates)

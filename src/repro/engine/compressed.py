@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from numpy.typing import NDArray
 
+from ..obs import queries as _queries
 from ..obs.metrics import get_registry
 from . import kernels, parallel
 from .compression import CompressedBlock, CompressionError, decode, encode_adaptive
@@ -193,8 +194,19 @@ class CompressedColumn:
     ) -> Dict[int, NDArray[np.int64]]:
         """Run the packed range kernel over the PROBE segments, fanned
         out per segment; returns ``{segment: global oids}``."""
+        active = _queries.current_query()
+        if active is not None:
+            # Live progress over the whole scan (both select entry
+            # points classify every block before probing): pruned and
+            # wholesale-accepted segments complete for free, probes tick
+            # below as they finish.
+            active.add_segments(
+                total=len(self.blocks), done=len(self.blocks) - len(probes)
+            )
 
         def probe(i: int) -> Tuple[int, NDArray[np.int64], bool, int]:
+            if active is not None:
+                active.check_deadline()
             block = self.blocks[i]
             mask, packed = kernels.range_mask(
                 block, fn_lo, fn_hi, lo_inclusive, hi_inclusive
@@ -203,6 +215,8 @@ class CompressedColumn:
                 mask = ~mask
             start, _stop = self.segment_bounds(i)
             oids = (np.flatnonzero(mask) + start).astype(np.int64)
+            if active is not None:
+                active.add_segments(done=1)
             return i, oids, packed, kernels.scan_bytes(block, packed)
 
         results = parallel.run_tasks(probe, list(probes), threads)

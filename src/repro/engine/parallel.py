@@ -22,11 +22,13 @@ Three pieces live here:
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from ..obs import queries as _queries
 from ..obs import resources as _resources
 from ..obs import trace as _trace
 from ..obs.metrics import get_registry
@@ -121,6 +123,14 @@ def run_tasks(
     parented to the span that was open when ``run_tasks`` was called —
     worker threads do not inherit the caller's span stack, so the parent
     is handed over explicitly.  Tracing off adds one boolean check.
+
+    Workers run inside a copy of the submitting thread's
+    :mod:`contextvars` context, so the caller's
+    :class:`~repro.obs.context.ObsContext` and active
+    :class:`~repro.obs.queries.ActiveQuery` resolve identically on the
+    workers: per-worker spans land in the submitting query's trace, and
+    cooperative deadline checks (one per morsel, before each task) see
+    the query's deadline.
     """
     tasks = list(tasks)
     n_workers = min(resolve_threads(threads), len(tasks))
@@ -135,6 +145,7 @@ def run_tasks(
         get_registry().counter("parallel.tasks").inc(len(tasks))
 
     def run_one(i: int) -> R:
+        _queries.check_deadline()
         if recording:
             with tracer.span("parallel.task", parent=parent) as span:
                 span.set(index=i)
@@ -185,7 +196,12 @@ def run_tasks(
                 return
 
     pool = get_pool()
-    futures = [pool.submit(worker) for _ in range(n_workers)]
+    # Each worker enters its own copy of the caller's context (a single
+    # contextvars.Context cannot be active on two threads at once).
+    caller_ctx = contextvars.copy_context()
+    futures = [
+        pool.submit(caller_ctx.copy().run, worker) for _ in range(n_workers)
+    ]
     for future in futures:
         future.result()
     if errors:

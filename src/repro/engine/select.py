@@ -63,6 +63,8 @@ def _account_touched(vals: NDArray[Any]) -> None:
         tracker.add_touched(
             rows=int(vals.shape[0]), nbytes=int(vals.nbytes)
         )
+        # Plain scans materialize everything they touch.
+        tracker.add_scan_bytes(materialized=int(vals.nbytes))
 
 
 def _numeric_bound(bound: object) -> bool:
@@ -92,6 +94,10 @@ def _account_packed(packed: CompressedColumn, stats: ScanStats, span: Any) -> No
     touched = stats.encoded_bytes + stats.materialized_bytes
     if tracker is not None and stats.rows_in:
         tracker.add_touched(rows=int(stats.rows_in), nbytes=int(touched))
+        tracker.add_scan_bytes(
+            encoded=int(stats.encoded_bytes),
+            materialized=int(stats.materialized_bytes),
+        )
     saved = packed.plain_nbytes - touched
     if saved > 0:
         get_registry().counter("compression.materialized_bytes_saved").inc(saved)

@@ -1,0 +1,23 @@
+"""The context-variable cell the obs modules share.
+
+This lives in its own leaf module (no imports from the rest of
+:mod:`repro`) so that :mod:`repro.obs.trace`, :mod:`repro.obs.metrics`,
+:mod:`repro.obs.flight` and :mod:`repro.obs.queries` can resolve the
+active :class:`~repro.obs.context.ObsContext` without importing
+:mod:`repro.obs.context` — which imports all of them.
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import ObsContext
+
+#: The active observability context for the current execution context,
+#: or ``None`` meaning "use the process-wide default" (the module
+#: singletons, which preserves the pre-context API behaviour).
+CURRENT: ContextVar[Optional["ObsContext"]] = ContextVar(
+    "repro_obs_context", default=None
+)

@@ -40,7 +40,9 @@ from pathlib import Path
 from types import FrameType, TracebackType
 from typing import Callable, Deque, Dict, List, Optional, Type, Union
 
+from ._context_state import CURRENT as _CONTEXT
 from .metrics import MetricsRegistry, get_registry
+from .queries import QueryRegistry, get_queries
 from .trace import Tracer, get_tracer, span_to_dict
 
 #: Environment override for where dumps land (default: cwd).
@@ -72,12 +74,14 @@ class FlightRecorder:
         directory: Optional[Union[str, Path]] = None,
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        queries: Optional[QueryRegistry] = None,
     ) -> None:
         self._events: Deque[Dict[str, object]] = deque(maxlen=max_events)
         self._lock = threading.Lock()
         self.directory = Path(directory) if directory is not None else None
         self.tracer = tracer if tracer is not None else get_tracer()
         self.registry = registry if registry is not None else get_registry()
+        self.queries = queries if queries is not None else get_queries()
         self._baseline_counters: Dict[str, int] = {}
         self._prev_excepthook: Optional[ExceptHook] = None
         self._installed_hook: Optional[ExceptHook] = None
@@ -178,6 +182,9 @@ class FlightRecorder:
             "events": self.events(),
             "counter_deltas": self._counter_deltas(),
             "metrics": self.registry.snapshot(),
+            # What was running (and what just ran) at dump time: id,
+            # phase, progress, elapsed — the post-mortem's first question.
+            "queries": self.queries.snapshot(),
         }
         if exc is not None:
             record["exception"] = {
@@ -237,8 +244,13 @@ _recorder_lock = threading.Lock()
 
 
 def get_flight_recorder() -> FlightRecorder:
-    """The process-wide recorder (created on first use, like the
-    tracer's singleton — but lazily, so importing obs stays cheap)."""
+    """The active context's recorder if it has one, else the process-wide
+    recorder (created on first use, like the tracer's singleton — but
+    lazily, so importing obs stays cheap)."""
+    context = _CONTEXT.get()
+    if context is not None and context.recorder is not None:
+        recorder = context.recorder
+        return recorder
     global _global_recorder
     with _recorder_lock:
         if _global_recorder is None:

@@ -21,6 +21,8 @@ import threading
 from bisect import bisect_left
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, TypeVar, Union
 
+from ._context_state import CURRENT as _CONTEXT
+
 #: Default latency bucket upper bounds, in seconds.  Fixed buckets (not
 #: adaptive) so two snapshots — or two machines — are always comparable
 #: bucket for bucket.
@@ -288,5 +290,8 @@ _global_registry = MetricsRegistry()
 
 
 def get_registry() -> MetricsRegistry:
-    """The process-wide registry (one per process, like the tracer)."""
+    """The active context's registry, else the process-wide default."""
+    context = _CONTEXT.get()
+    if context is not None:
+        return context.registry
     return _global_registry

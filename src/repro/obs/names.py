@@ -33,7 +33,9 @@ COUNTERS: FrozenSet[str] = frozenset(
         "load.tiles_skipped",
         "obs.http_requests",
         "parallel.tasks",
+        "query.cancelled",
         "query.count",
+        "query.errors",
         "query.segments_probed",
         "query.segments_skipped",
         "slowlog.records",
@@ -46,6 +48,7 @@ COUNTERS: FrozenSet[str] = frozenset(
 GAUGES: FrozenSet[str] = frozenset(
     {
         "obs.server_up",
+        "query.active",
     }
 )
 

@@ -1,0 +1,344 @@
+"""Live in-flight query registry with cooperative deadlines.
+
+Every spatial or SQL query entering the engine is wrapped in
+:meth:`QueryRegistry.track`, which assigns it a process-unique
+``query_id``, publishes an :class:`ActiveQuery` record (phase, progress,
+elapsed, resources) while the query runs, and retires the record into a
+bounded recent-history ring when it finishes.  The registry backs the
+``/debug/queries`` route on :class:`~repro.obs.server.TelemetryServer`,
+the ``repro-gis queries`` CLI view, and the flight recorder's
+crash-time snapshot of what was running.
+
+Progress is fed from the segment classifiers: both
+:class:`~repro.core.imprints.segments.SegmentedImprints` and
+:class:`~repro.engine.compressed.CompressedColumn` report the total
+segment count up front, credit skipped/full segments immediately, and
+tick one unit per completed probe — so a long scan shows monotonically
+increasing progress.
+
+Deadlines are cooperative: ``timeout_s=`` turns into a monotonic
+deadline checked at morsel boundaries (:func:`repro.engine.parallel.run_tasks`)
+and segment-probe boundaries.  A missed deadline raises the typed
+:class:`QueryCancelled`, and the registry marks the record
+``cancelled``.  Nested queries (a SQL query driving a spatial subquery)
+inherit the tighter of their own and their parent's deadline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from ._context_state import CURRENT
+from .metrics import get_registry
+from .resources import ResourceTracker
+from .timing import now
+
+__all__ = [
+    "ActiveQuery",
+    "QueryCancelled",
+    "QueryRegistry",
+    "check_deadline",
+    "current_query",
+    "get_queries",
+]
+
+_ids = itertools.count(1)
+
+
+class QueryCancelled(RuntimeError):
+    """A query exceeded its cooperative deadline and was cancelled.
+
+    Raised from a deadline check at a morsel or segment boundary; the
+    query's registry record is marked ``cancelled``.
+    """
+
+    def __init__(self, query_id: str, timeout_s: float, elapsed_s: float):
+        super().__init__(
+            f"query {query_id} cancelled: exceeded timeout_s={timeout_s:g} "
+            f"(elapsed {elapsed_s:.3f}s)"
+        )
+        self.query_id = query_id
+        self.timeout_s = timeout_s
+        self.elapsed_s = elapsed_s
+
+
+class ActiveQuery:
+    """One in-flight (or recently finished) query's live record.
+
+    Identity (``query_id``, ``kind``, ``detail``, ``parent_id``,
+    ``timeout_s``, ``deadline``) is immutable after construction; the
+    mutable progress fields are guarded by ``_lock`` because morsel
+    workers tick them concurrently.
+    """
+
+    __slots__ = (
+        "query_id",
+        "kind",
+        "detail",
+        "parent_id",
+        "timeout_s",
+        "deadline",
+        "tracker",
+        "started",
+        "started_ts",
+        "_lock",
+        "_phase",
+        "_segments_total",
+        "_segments_done",
+        "_status",
+        "_error",
+        "_trace_id",
+        "_elapsed",
+    )
+
+    def __init__(
+        self,
+        query_id: str,
+        kind: str,
+        detail: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        deadline: Optional[float] = None,
+        parent_id: Optional[str] = None,
+        tracker: Optional[ResourceTracker] = None,
+    ):
+        self.query_id = query_id
+        self.kind = kind
+        self.detail: Dict[str, Any] = dict(detail or {})
+        self.parent_id = parent_id
+        self.timeout_s = timeout_s
+        self.deadline = deadline
+        self.tracker = tracker
+        self.started = now()
+        self.started_ts = time.time()  # wall clock, display only
+        self._lock = threading.Lock()
+        self._phase = "queued"
+        self._segments_total = 0
+        self._segments_done = 0
+        self._status = "running"
+        self._error: Optional[str] = None
+        self._trace_id = 0
+        self._elapsed: Optional[float] = None
+
+    # -- progress (called from worker threads) -----------------------------
+
+    def set_phase(self, phase: str) -> None:
+        with self._lock:
+            self._phase = phase
+
+    def set_trace(self, trace_id: int) -> None:
+        with self._lock:
+            self._trace_id = trace_id
+
+    def add_segments(self, total: int = 0, done: int = 0) -> None:
+        """Grow the segment denominator and/or credit completed units."""
+        with self._lock:
+            self._segments_total += total
+            self._segments_done += done
+
+    def check_deadline(self) -> None:
+        """Raise :class:`QueryCancelled` if the deadline has passed."""
+        if self.deadline is not None and now() > self.deadline:
+            timeout = self.timeout_s if self.timeout_s is not None else 0.0
+            raise QueryCancelled(self.query_id, timeout, now() - self.started)
+
+    def finish(self, status: str, error: Optional[str] = None) -> None:
+        with self._lock:
+            self._status = status
+            self._error = error
+            self._elapsed = now() - self.started
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    @property
+    def status(self) -> str:
+        return self._status
+
+    @property
+    def trace_id(self) -> int:
+        return self._trace_id
+
+    @property
+    def progress(self) -> float:
+        """Completed fraction in ``[0, 1]``; 0.0 before any scan starts."""
+        with self._lock:
+            total = self._segments_total
+            done = self._segments_done
+        if total <= 0:
+            return 0.0
+        return min(1.0, done / total)
+
+    def elapsed_s(self) -> float:
+        with self._lock:
+            if self._elapsed is not None:
+                return self._elapsed
+        return now() - self.started
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            total = self._segments_total
+            done = self._segments_done
+            phase = self._phase
+            status = self._status
+            error = self._error
+            trace_id = self._trace_id
+            elapsed = self._elapsed
+        record: Dict[str, Any] = {
+            "query_id": self.query_id,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+            "phase": phase,
+            "status": status,
+            "progress": min(1.0, done / total) if total > 0 else 0.0,
+            "segments_done": done,
+            "segments_total": total,
+            "elapsed_s": elapsed if elapsed is not None else now() - self.started,
+            "started_ts": self.started_ts,
+            "trace_id": trace_id,
+        }
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        if self.timeout_s is not None:
+            record["timeout_s"] = self.timeout_s
+        if error is not None:
+            record["error"] = error
+        if self.tracker is not None:
+            record["resources"] = self.tracker.usage.to_dict()
+        return record
+
+
+#: The query the current execution context is running (propagates to
+#: morsel workers together with the obs context via ``copy_context``).
+_ACTIVE: ContextVar[Optional[ActiveQuery]] = ContextVar(
+    "repro_active_query", default=None
+)
+
+
+def current_query() -> Optional[ActiveQuery]:
+    """The in-flight query for this execution context, if any."""
+    return _ACTIVE.get()
+
+
+def check_deadline() -> None:
+    """Cooperative cancellation point: cheap no-op when untracked."""
+    query = _ACTIVE.get()
+    if query is not None:
+        query.check_deadline()
+
+
+class QueryRegistry:
+    """Thread-safe registry of in-flight queries plus a recent ring."""
+
+    def __init__(self, max_recent: int = 64):
+        self._lock = threading.Lock()
+        self._active: Dict[str, ActiveQuery] = {}
+        self._recent: Deque[Dict[str, Any]] = deque(maxlen=max_recent)
+
+    def active(self) -> List[ActiveQuery]:
+        with self._lock:
+            queries = list(self._active.values())
+        return sorted(queries, key=lambda q: q.started)
+
+    def recent(self) -> List[Dict[str, Any]]:
+        """Most recent finished-query records, newest first."""
+        with self._lock:
+            return list(reversed(self._recent))
+
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """JSON-ready view: live records plus the recent-history ring."""
+        return {
+            "active": [q.to_dict() for q in self.active()],
+            "recent": self.recent(),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    @contextmanager
+    def track(
+        self,
+        kind: str,
+        detail: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        tracker: Optional[ResourceTracker] = None,
+    ) -> Iterator[ActiveQuery]:
+        """Publish an :class:`ActiveQuery` for the duration of a query.
+
+        Sets the active-query context variable (so progress hooks and
+        deadline checks anywhere below — including morsel workers, which
+        inherit a copy of this context — find the record), and retires
+        it into the recent ring on the way out with status ``finished``,
+        ``cancelled`` (:class:`QueryCancelled`) or ``error``.
+        """
+        parent = _ACTIVE.get()
+        deadline = now() + timeout_s if timeout_s is not None else None
+        if parent is not None and parent.deadline is not None:
+            deadline = (
+                parent.deadline
+                if deadline is None
+                else min(deadline, parent.deadline)
+            )
+        query = ActiveQuery(
+            query_id=f"q{os.getpid()}-{next(_ids):05d}",
+            kind=kind,
+            detail=detail,
+            timeout_s=timeout_s,
+            deadline=deadline,
+            parent_id=parent.query_id if parent is not None else None,
+            tracker=tracker,
+        )
+        with self._lock:
+            self._active[query.query_id] = query
+            n_active = len(self._active)
+        registry = get_registry()
+        registry.gauge("query.active").set(float(n_active))
+        token = _ACTIVE.set(query)
+        status = "finished"
+        error: Optional[str] = None
+        try:
+            yield query
+        except QueryCancelled:
+            status = "cancelled"
+            raise
+        except BaseException as exc:
+            status = "error"
+            error = type(exc).__name__
+            raise
+        finally:
+            _ACTIVE.reset(token)
+            query.finish(status, error)
+            with self._lock:
+                self._active.pop(query.query_id, None)
+                self._recent.append(query.to_dict())
+                n_active = len(self._active)
+            registry = get_registry()
+            registry.gauge("query.active").set(float(n_active))
+            if status == "cancelled":
+                registry.counter("query.cancelled").inc()
+            elif status == "error":
+                registry.counter("query.errors").inc()
+            context = CURRENT.get()
+            if context is not None and tracker is not None:
+                context.absorb_usage(tracker.usage)
+
+
+_global_queries = QueryRegistry()
+
+
+def get_queries() -> QueryRegistry:
+    """The active context's query registry (process default otherwise)."""
+    context = CURRENT.get()
+    if context is not None:
+        return context.queries
+    return _global_queries

@@ -68,6 +68,12 @@ class ResourceUsage:
     rows_touched: int = 0
     #: Column bytes those reads moved.
     bytes_touched: int = 0
+    #: Compressed bytes packed scans read in place (the PR 6 byte split:
+    #: what actually crossed memory on the packed path).
+    encoded_bytes: int = 0
+    #: Plain-equivalent bytes of everything scanned — packed scans count
+    #: what decompressing would have cost, plain scans their array size.
+    materialized_bytes: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly record (slow log, flight dumps, bench reports)."""
@@ -77,6 +83,8 @@ class ResourceUsage:
             "peak_alloc_bytes": self.peak_alloc_bytes,
             "rows_touched": self.rows_touched,
             "bytes_touched": self.bytes_touched,
+            "encoded_bytes": self.encoded_bytes,
+            "materialized_bytes": self.materialized_bytes,
         }
 
 
@@ -155,6 +163,15 @@ class ResourceTracker:
             self.usage.bytes_touched += nbytes
         if self._parent is not None:
             self._parent.add_touched(rows, nbytes)
+
+    def add_scan_bytes(self, encoded: int = 0, materialized: int = 0) -> None:
+        """Attribute the packed-vs-plain byte split of a scan: bytes read
+        in compressed form versus their plain-array equivalent."""
+        with self._lock:
+            self.usage.encoded_bytes += encoded
+            self.usage.materialized_bytes += materialized
+        if self._parent is not None:
+            self._parent.add_scan_bytes(encoded, materialized)
 
 
 def _stack() -> list["ResourceTracker"]:

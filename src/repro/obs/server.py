@@ -18,6 +18,12 @@ process's observability state:
     The last-N traces from the tracer's ring buffer as plain JSON span
     records (``?last=N``, default 10) — the span dump you would
     otherwise need shell access and ``repro-gis trace`` for.
+``/debug/queries``
+    The live in-flight query registry
+    (:class:`~repro.obs.queries.QueryRegistry`): every running query's
+    id, kind, phase, progress (segments done / total) and elapsed time,
+    plus the recent finished-query ring.  ``repro-gis queries`` renders
+    this route as a table.
 
 Every request increments the ``obs.http_requests`` counter; the
 ``obs.server_up`` gauge is 1 while the server is bound.  Start it from
@@ -40,6 +46,7 @@ from urllib.parse import parse_qs, urlparse
 
 from .metrics import MetricsRegistry, get_registry
 from .openmetrics import CONTENT_TYPE, render
+from .queries import QueryRegistry, get_queries
 from .trace import Tracer, get_tracer, span_to_dict
 
 #: Environment override for the default port (the CLI and embedders
@@ -87,11 +94,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._healthz(server)
         elif route == "/debug/trace":
             self._debug_trace(server, parsed.query)
+        elif route == "/debug/queries":
+            body = json.dumps(server.owner.queries.snapshot()) + "\n"
+            self._respond(200, "application/json; charset=utf-8", body)
         else:
             self._respond(
                 404,
                 "text/plain; charset=utf-8",
-                "not found; routes: /metrics /healthz /debug/trace\n",
+                "not found; routes: /metrics /healthz /debug/trace"
+                " /debug/queries\n",
             )
 
     def _healthz(self, server: "_TelemetryHTTPServer") -> None:
@@ -152,8 +163,10 @@ class TelemetryServer:
         Bind address.  ``port=None`` resolves via ``REPRO_METRICS_PORT``
         then the default (9464); ``port=0`` asks the OS for a free port
         (read the chosen one back from :attr:`port` after ``start``).
-    registry, tracer:
-        Default to the process-wide singletons.
+    registry, tracer, queries:
+        Default to the active context's instances (the process-wide
+        singletons unless an :class:`~repro.obs.context.ObsContext` is
+        active at construction).
     health:
         Optional callback contributing fields to the ``/healthz`` body.
     """
@@ -165,11 +178,13 @@ class TelemetryServer:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         health: Optional[HealthCallback] = None,
+        queries: Optional[QueryRegistry] = None,
     ) -> None:
         self.host = host
         self._requested_port = resolve_port(port) if port != 0 else 0
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.queries = queries if queries is not None else get_queries()
         self.health = health
         self._server: Optional[_TelemetryHTTPServer] = None
         self._thread: Optional[threading.Thread] = None

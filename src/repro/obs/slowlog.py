@@ -92,7 +92,10 @@ class SlowQueryLog:
     path:
         The JSONL file; parent directories are created at first append.
     tracer, registry:
-        Default to the process-wide singletons.
+        Default to the *active context's* instances, resolved at
+        observe time (not construction), so a log owned by a database
+        with a scoped :class:`~repro.obs.context.ObsContext` captures
+        that context's spans and counters.
     """
 
     def __init__(
@@ -106,8 +109,16 @@ class SlowQueryLog:
             raise ValueError("slow-query threshold must be >= 0")
         self.threshold_s = float(threshold_s)
         self.path = Path(path)
-        self.tracer = tracer if tracer is not None else get_tracer()
-        self.registry = registry if registry is not None else get_registry()
+        self._tracer = tracer
+        self._registry = registry
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
 
     @contextmanager
     def observe(self, kind: str, **detail: object) -> Iterator[SlowQueryObservation]:

@@ -52,6 +52,8 @@ from typing import (
     cast,
 )
 
+from ._context_state import CURRENT as _CONTEXT
+
 #: Environment switch: any value but ""/"0"/"false"/"no" enables tracing.
 TRACE_ENV = "REPRO_TRACE"
 
@@ -120,7 +122,14 @@ class Span:
                 self.parent_id = parent.span_id
                 self.trace_id = parent.trace_id
             else:
-                self.trace_id = self.span_id
+                remote = self.tracer.remote_parent
+                if remote is not None:
+                    # Root span of a trace started elsewhere (adopted
+                    # from a traceparent token): join the remote trace.
+                    self.trace_id = remote.trace_id
+                    self.parent_id = remote.span_id
+                else:
+                    self.trace_id = self.span_id
             thread = threading.current_thread()
             self.thread_id = thread.ident or 0
             self.thread_name = thread.name
@@ -182,8 +191,21 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+class RemoteParent:
+    """A parent span in another process, adopted from a traceparent
+    token (:func:`repro.obs.context.parse_traceparent`): root spans
+    started under a tracer carrying one join the remote trace instead of
+    starting a fresh one."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+
 class Tracer:
-    """Process-wide span collector with an in-memory ring buffer.
+    """Per-context span collector with an in-memory ring buffer.
 
     ``enabled`` is a plain attribute so hot paths can check it without a
     property call.  Finished spans append to the ring buffer (and to any
@@ -199,6 +221,7 @@ class Tracer:
         if enabled is None:
             enabled = os.environ.get(TRACE_ENV, "").strip().lower() not in _FALSY
         self.enabled = bool(enabled)
+        self.remote_parent: Optional[RemoteParent] = None
         self._buffer: Deque[Span] = deque(maxlen=max_spans)
         self._lock = threading.Lock()
         self._captures: List[List[Span]] = []
@@ -305,7 +328,13 @@ _global_tracer = Tracer()
 
 
 def get_tracer() -> Tracer:
-    """The process-wide tracer (one per process, like the worker pool)."""
+    """The active context's tracer, else the process-wide default.
+
+    Code that never activates an :class:`~repro.obs.context.ObsContext`
+    sees exactly the pre-context behaviour (the module singleton)."""
+    context = _CONTEXT.get()
+    if context is not None:
+        return context.tracer
     return _global_tracer
 
 
@@ -315,9 +344,10 @@ def maybe_span(
     """A real span when tracing is on, the shared no-op span when off.
 
     This is the form instrumented hot paths use: with tracing disabled
-    the cost is one function call and one attribute check.
+    the cost is one context-variable read and one attribute check.
     """
-    tracer = _global_tracer
+    context = _CONTEXT.get()
+    tracer = context.tracer if context is not None else _global_tracer
     if tracer.enabled:
         return Span(tracer, name, parent=parent, attributes=attributes)
     return NOOP_SPAN
@@ -342,7 +372,7 @@ def traced(
 
         @wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            tracer = _global_tracer
+            tracer = get_tracer()
             if not tracer.enabled:
                 return fn(*args, **kwargs)
             with tracer.span(label, **attributes):

@@ -29,10 +29,11 @@ from ..core.query import SpatialSelect
 from ..engine.select import range_select as engine_range_select
 from ..engine.table import Table
 from ..gis.geometry import Geometry
-from ..obs.metrics import get_registry
+from ..obs.context import ObsContext, default_context
+from ..obs.queries import get_queries
 from ..obs.resources import ResourceTracker, ResourceUsage
 from ..obs.timing import now
-from ..obs.trace import format_tree, get_tracer, maybe_span
+from ..obs.trace import format_tree, maybe_span
 from . import ast
 from .functions import AGGREGATES, call
 from .parser import parse
@@ -123,10 +124,19 @@ class Session:
     ----------
     manager:
         Shared imprints manager for point tables (created when omitted).
+    obs:
+        The observability context queries run under (tracer, metrics,
+        query registry); the process default when omitted, so existing
+        callers keep the singleton behaviour.
     """
 
-    def __init__(self, manager: Optional[ImprintsManager] = None) -> None:
+    def __init__(
+        self,
+        manager: Optional[ImprintsManager] = None,
+        obs: Optional[ObsContext] = None,
+    ) -> None:
         self.manager = manager if manager is not None else ImprintsManager()
+        self.obs = obs if obs is not None else default_context()
         self._relations: Dict[str, Relation] = {}
         #: Per-phase wall-clock seconds of the most recent execute() —
         #: the demo's "execution time spent in each operator" view.
@@ -134,6 +144,9 @@ class Session:
         #: Resource attribution (CPU, allocations, data touched) of the
         #: most recent execute(); None before the first query.
         self.last_resources: Optional[ResourceUsage] = None
+        #: Registry identity of the most recent execute() (None before
+        #: the first query and after EXPLAIN, which is not tracked).
+        self.last_query_id: Optional[str] = None
 
     # -- registration ---------------------------------------------------------------
 
@@ -198,7 +211,7 @@ class Session:
 
     # -- execution ---------------------------------------------------------------------
 
-    def execute(self, sql: str) -> Result:
+    def execute(self, sql: str, timeout_s: Optional[float] = None) -> Result:
         """Parse and run one SELECT statement.
 
         ``EXPLAIN <select>`` returns the plan text as a one-column result;
@@ -208,6 +221,11 @@ class Session:
         ``last_profile`` afterwards holds per-phase seconds:
         ``parse``, ``join_filter`` (scans, index probes, joins),
         ``project`` (projection/aggregation/order/limit) and ``total``.
+
+        ``timeout_s`` arms a cooperative deadline checked at morsel and
+        segment boundaries; exceeding it raises
+        :class:`~repro.obs.queries.QueryCancelled` (a spatial sub-query
+        inherits the tighter of its own and this deadline).
         """
         prefix = _EXPLAIN_RE.match(sql)
         if prefix is not None:
@@ -225,22 +243,36 @@ class Session:
         # sub-query's own tracker nests inside this one in turn), so the
         # SQL statement's attribution includes its index probes.
         tracker = ResourceTracker()
-        with tracker, maybe_span("sql.query", sql=sql.strip()) as query_span:
+        with self.obs.activate(), get_queries().track(
+            "sql",
+            detail={"sql": sql.strip()},
+            timeout_s=timeout_s,
+            tracker=tracker,
+        ) as active, tracker, maybe_span(
+            "sql.query", sql=sql.strip()
+        ) as query_span:
+            query_span.set(query_id=active.query_id)
+            trace_id = getattr(query_span, "trace_id", 0)
+            if trace_id:
+                active.set_trace(int(trace_id))
             t0 = now()
+            active.set_phase("parse")
             with maybe_span("sql.parse"):
                 select = parse(sql)
             t1 = now()
+            active.set_phase("execute")
             result, t_join = self._run_profiled(select)
             t2 = now()
             query_span.set(rows_out=len(result.rows))
         self.last_resources = tracker.usage
+        self.last_query_id = active.query_id
         self.last_profile = {
             "parse": t1 - t0,
             "join_filter": t_join,
             "project": (t2 - t1) - t_join,
             "total": t2 - t0,
         }
-        registry = get_registry()
+        registry = self.obs.registry
         registry.counter("sql.queries").inc()
         registry.histogram("sql.seconds").observe(t2 - t0)
         return result
@@ -296,7 +328,7 @@ class Session:
         skipped/probed, ...).  Works whether or not tracing is enabled
         globally — the capture context force-enables it for this query.
         """
-        tracer = get_tracer()
+        tracer = self.obs.tracer
         with tracer.capture() as spans:
             result = self.execute(sql)
         roots = [s for s in spans if s.name == "sql.query"]

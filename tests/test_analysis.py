@@ -466,6 +466,51 @@ class TestCounterRegistry:
         )
         assert len(report.findings) == 1
 
+    def test_lifecycle_names_are_declared(self, tmp_path):
+        # The query-lifecycle metrics emitted by repro/obs/queries.py
+        # (deliberately not an obs-exempt module) are in the registry.
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("query.cancelled").inc()\n'
+                    'get_registry().counter("query.errors").inc()\n'
+                    'get_registry().gauge("query.active").set(1.0)\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert report.findings == []
+
+    def test_typod_lifecycle_counter_flagged_with_hint(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("query.cancelld").inc()\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert len(report.findings) == 1
+        assert "query.cancelled" in report.findings[0].message  # hint
+
+    def test_lifecycle_gauge_used_as_counter_flagged(self, tmp_path):
+        # query.active is declared as a gauge, not a counter.
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("query.active").inc()\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert len(report.findings) == 1
+
 
 # -- baseline ------------------------------------------------------------------
 

@@ -294,6 +294,76 @@ class TestServeMetrics:
         assert healthz["tables"] == {"points": 5000}
 
 
+class TestTimeouts:
+    HALF_BOX = (
+        "POLYGON ((85000 445000, 86000 445000, 86000 446000,"
+        " 85000 446000, 85000 445000))"
+    )
+
+    def test_query_timeout_cancels(self, db_dir, capsys):
+        code = main(
+            ["query", str(db_dir), "--wkt", self.HALF_BOX, "--timeout", "0"]
+        )
+        assert code == 1
+        assert "cancelled" in capsys.readouterr().err
+
+    def test_sql_timeout_cancels(self, db_dir, capsys):
+        code = main(
+            [
+                "sql",
+                str(db_dir),
+                "SELECT count(*) FROM points WHERE x < 86000",
+                "--timeout",
+                "0",
+            ]
+        )
+        assert code == 1
+        assert "cancelled" in capsys.readouterr().err
+
+
+class TestQueriesCommand:
+    @pytest.fixture
+    def live_server(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.queries import QueryRegistry
+        from repro.obs.server import TelemetryServer
+        from repro.obs.trace import Tracer
+
+        registry = QueryRegistry()
+        server = TelemetryServer(
+            port=0,
+            registry=MetricsRegistry(),
+            tracer=Tracer(enabled=False),
+            queries=registry,
+        )
+        with server:
+            yield server, registry
+
+    def test_renders_active_and_recent(self, live_server, capsys):
+        server, registry = live_server
+        with registry.track("spatial", detail={"table": "pts"}) as query:
+            code = main(["queries", "--url", server.url])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "active (1):" in out
+        assert query.query_id in out
+
+    def test_json_output(self, live_server, capsys):
+        import json
+
+        server, registry = live_server
+        with registry.track("sql"):
+            pass
+        assert main(["queries", "--url", server.url, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["active"] == []
+        assert snapshot["recent"][0]["kind"] == "sql"
+
+    def test_unreachable_server_errors_cleanly(self, capsys):
+        assert main(["queries", "--url", "http://127.0.0.1:1"]) == 1
+        assert "cannot fetch" in capsys.readouterr().err
+
+
 class TestSlowlogCommand:
     @pytest.fixture
     def log_path(self, db_dir, tmp_path):

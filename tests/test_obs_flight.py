@@ -88,6 +88,29 @@ class TestDump:
         )
         assert [s["name"] for s in record["spans"]] == ["doomed.query"]
 
+    def test_dump_snapshots_the_query_registry(self, tmp_path):
+        from repro.obs.queries import QueryRegistry
+
+        queries = QueryRegistry()
+        rec = FlightRecorder(
+            directory=tmp_path,
+            tracer=Tracer(enabled=False),
+            registry=MetricsRegistry(),
+            queries=queries,
+        )
+        with queries.track("spatial", detail={"table": "pts"}) as query:
+            path = rec.dump("mid_query")
+        record = json.loads(path.read_text())
+        active = record["queries"]["active"]
+        assert [q["query_id"] for q in active] == [query.query_id]
+        assert active[0]["kind"] == "spatial"
+        assert active[0]["status"] == "running"
+        # A later dump sees it retired into the recent ring.
+        path = rec.dump("post_query")
+        record = json.loads(path.read_text())
+        assert record["queries"]["active"] == []
+        assert record["queries"]["recent"][0]["status"] == "finished"
+
     def test_dump_never_raises(self, tmp_path):
         rec = FlightRecorder(directory=tmp_path / "file-not-dir")
         (tmp_path / "file-not-dir").write_text("in the way")

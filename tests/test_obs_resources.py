@@ -89,6 +89,8 @@ class TestTracker:
             "peak_alloc_bytes": None,
             "rows_touched": 3,
             "bytes_touched": 24,
+            "encoded_bytes": 0,
+            "materialized_bytes": 0,
         }
 
 

@@ -176,6 +176,27 @@ class TestPointCloudDBIntegration:
         assert {"filter_seconds", "n_segments_probed"} <= set(record["stats"])
         assert any(s["name"].startswith("query.") for s in record["spans"])
 
+    def test_records_carry_query_identity_and_scan_bytes(self, db):
+        result = db.spatial_select("pts", Box(10, 10, 60, 60))
+        (record,) = read_records(db.slow_log.path)
+        assert record["query_id"] == result.stats.query_id
+        assert record["query_id"].startswith("q")
+        # This db has no packed columns, so nothing was scanned encoded;
+        # probing boundary segments materializes their values.
+        assert record["encoded_bytes"] == 0
+        assert record["materialized_bytes"] > 0
+        assert record["resources"]["materialized_bytes"] > 0
+
+    def test_sql_record_carries_query_identity(self, db):
+        db.sql("SELECT avg(z) FROM pts WHERE x < 50")
+        records = [
+            r for r in read_records(db.slow_log.path) if r["kind"] == "sql"
+        ]
+        record = records[0]
+        assert record["query_id"].startswith("q")
+        assert record["encoded_bytes"] >= 0
+        assert record["materialized_bytes"] >= 0
+
     def test_sql_logs_one_record(self, db):
         db.sql("SELECT avg(z) FROM pts WHERE x < 50")
         records = [
