@@ -1,0 +1,66 @@
+"""E9 — Service load: daemon throughput, tail latency, and shed rate.
+
+Drives an embedded :class:`~repro.serve.http.QueryDaemon` over real HTTP
+at a few concurrency levels, then at 2x the admission limit, and writes
+``BENCH_serve.json`` at the repo root (and ``REPRO_BENCH_DIR`` when
+set).
+
+The deterministic contracts are asserted here: every request is
+accounted for (completed + shed + errored), nothing errors at offered
+loads the admission limit can absorb, and every shed response under
+overload carried a ``Retry-After`` hint while the accepted requests all
+completed.  The latency and throughput numbers stay soft (CI runners
+are noisy); the committed JSON carries the real measurements.
+"""
+
+import os
+from pathlib import Path
+
+from repro.bench.parallel_scaling import write_report
+from repro.bench.serve_load import run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", "200000"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+def test_serve_load_report():
+    # max_concurrency + queue_depth = 4 >= the highest measured level, so
+    # the level phase never sheds; only the 2x-overload phase does.
+    report = run(
+        points=BENCH_POINTS,
+        levels=[1, 2, 4],
+        requests_per_worker=max(4, REPEATS * 4),
+        max_concurrency=2,
+        queue_depth=2,
+    )
+
+    assert report["experiment"] == "serve_load"
+    assert report["config"]["url_mode"] is False
+
+    for level in report["levels"]:
+        assert (
+            level["completed"] + level["shed"] + level["errors"]
+            == level["requests"]
+        )
+        assert level["errors"] == 0
+        assert level["shed"] == 0
+        assert level["throughput_rps"] > 0
+        assert 0.0 < level["p50_s"] <= level["p95_s"] <= level["p99_s"]
+
+    overload = report["overload"]
+    assert overload["target_concurrency"] == 2 * overload["admission_limit"]
+    assert (
+        overload["completed"] + overload["shed"] + overload["errors"]
+        == overload["requests"]
+    )
+    assert overload["completed"] > 0
+    assert overload["retry_after_on_all_sheds"] is True
+    assert 0.0 <= overload["shed_rate"] <= 1.0
+
+    out = write_report(REPO_ROOT / "BENCH_serve.json", report)
+    assert out.exists()
+    if os.environ.get("REPRO_BENCH_DIR"):
+        write_report(
+            Path(os.environ["REPRO_BENCH_DIR"]) / "BENCH_serve.json", report
+        )

@@ -35,7 +35,7 @@ from .obs.slowlog import (
     path_from_env,
     threshold_from_env,
 )
-from .obs.trace import get_tracer
+from .obs.trace import Tracer, get_tracer
 from .sql.executor import Result, Session
 
 PathLike = Union[str, Path]
@@ -147,13 +147,7 @@ class PointCloudDB:
         ``threads=`` to override the database default for one query and
         ``timeout_s=`` for a cooperative deadline.
         """
-        try:
-            select = self._selects[name]
-        except KeyError:
-            select = SpatialSelect(
-                self.db.table(name), manager=self.manager, threads=self.threads
-            )
-            self._selects[name] = select
+        select = self.select_for(name)
         with self.obs.activate():
             if self.slow_log is None:
                 return select.query(geometry, predicate, distance, **kwargs)
@@ -183,6 +177,23 @@ class PointCloudDB:
                 )
         return result
 
+    def select_for(self, name: str) -> SpatialSelect:
+        """The cached :class:`SpatialSelect` over table ``name``.
+
+        The building block :meth:`spatial_select` wraps; the query
+        service calls it directly so each request can run ``query()``
+        under its own request-scoped observability context instead of
+        the database-wide one.
+        """
+        try:
+            return self._selects[name]
+        except KeyError:
+            select = SpatialSelect(
+                self.db.table(name), manager=self.manager, threads=self.threads
+            )
+            self._selects[name] = select
+            return select
+
     # -- SQL ---------------------------------------------------------------------------
 
     def register_vector(self, name: str, columns: Dict[str, Sequence]) -> None:
@@ -192,6 +203,11 @@ class PointCloudDB:
         snapshotted at registration.
         """
         self._vector_relations[name] = columns
+
+    @property
+    def vector_relations(self) -> Dict[str, Dict]:
+        """Registered vector relations (name -> columns), read-only use."""
+        return self._vector_relations
 
     def _session(self) -> Session:
         """A session over the current tables and vector relations.
@@ -242,6 +258,28 @@ class PointCloudDB:
         return self._session().explain_analyze(query)
 
     # -- observability ----------------------------------------------------------------
+
+    def request_context(
+        self, traceparent: Optional[str] = None
+    ) -> ObsContext:
+        """A per-request observability context over this database.
+
+        Shares this database's metrics registry, query registry and
+        flight recorder — one request's counters land where every other
+        query's do — but carries its *own* tracer, so a request adopting
+        an inbound W3C ``traceparent`` joins the caller's trace without
+        perturbing concurrent requests.  The query service builds one of
+        these per HTTP request.
+        """
+        context = ObsContext(
+            tracer=Tracer(enabled=self.obs.tracer.enabled),
+            registry=self.obs.registry,
+            queries=self.obs.queries,
+            recorder=self.obs.recorder,
+        )
+        if traceparent is not None:
+            context.adopt_traceparent(traceparent)
+        return context
 
     def trace_spans(self):
         """Finished spans currently in this database's tracer ring."""
@@ -312,7 +350,10 @@ class PointCloudDB:
 
     @classmethod
     def load(
-        cls, directory: PathLike, threads: Optional[int] = None
+        cls,
+        directory: PathLike,
+        threads: Optional[int] = None,
+        obs: Optional[ObsContext] = None,
     ) -> "PointCloudDB":
         """Restore a persisted database, imprints included.
 
@@ -320,8 +361,12 @@ class PointCloudDB:
         back to their last committed rows, unreadable tables are skipped,
         corrupt imprints are quarantined and rebuilt lazily — per-table
         outcomes land in :attr:`health` instead of killing the load.
+
+        ``obs`` scopes the loaded database's observability; the query
+        service passes its own context so every loaded snapshot
+        generation reports into one registry.
         """
-        instance = cls(directory=directory, threads=threads)
+        instance = cls(directory=directory, threads=threads, obs=obs)
         instance.db = Database.load(directory)
         tables = {name: instance.db.table(name) for name in instance.db.table_names}
         instance.manager.load(tables, Path(directory) / "_imprints")
@@ -356,7 +401,10 @@ class PointCloudDB:
 
     @classmethod
     def recover(
-        cls, directory: PathLike, threads: Optional[int] = None
+        cls,
+        directory: PathLike,
+        threads: Optional[int] = None,
+        obs: Optional[ObsContext] = None,
     ) -> "PointCloudDB":
         """Tolerant load + rewrite of everything that needed repair.
 
@@ -364,7 +412,7 @@ class PointCloudDB:
         (:meth:`Database.recover`); corrupt imprint files are quarantined
         by the imprint loader and rebuilt lazily on first use.
         """
-        instance = cls(directory=directory, threads=threads)
+        instance = cls(directory=directory, threads=threads, obs=obs)
         instance.db = Database.recover(directory)
         tables = {name: instance.db.table(name) for name in instance.db.table_names}
         instance.manager.load(tables, Path(directory) / "_imprints")

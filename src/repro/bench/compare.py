@@ -19,6 +19,12 @@ bytes/point per column (lower is better — a fatter encoding is a
 regression even if it happens to scan fast on this machine) and packed
 scan throughput per query (higher is better), both at the same
 threshold.
+
+``serve_load`` reports (``BENCH_serve.json``) compare the daemon's
+throughput (higher is better) and p50/p95/p99 request latency (lower is
+better) per concurrency level; the overload shed rate is printed for
+context but never gates — how much a 2x burst sheds is a policy
+outcome, not a performance regression.
 """
 
 from __future__ import annotations
@@ -99,19 +105,58 @@ def load_compression(path) -> Dict[Tuple[str, str], float]:
 #: worse (times, sizes), -1 when lower values are worse (throughput).
 _COMPRESSION_DIRECTION = {"bytes_per_point": 1, "throughput_mpts": -1}
 
+#: Same, for ``serve_load`` reports: latency up = bad, throughput down = bad.
+_SERVE_DIRECTION = {
+    "throughput_rps": -1,
+    "p50_s": 1,
+    "p95_s": 1,
+    "p99_s": 1,
+}
+
+
+def load_serve(path) -> Dict[Tuple[str, str], float]:
+    """Comparable metrics from a ``serve_load`` report.
+
+    Keys are ``(metric, "c<concurrency>")`` per measured level; any
+    other payload yields an empty dict.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("experiment") != "serve_load":
+        return {}
+    metrics: Dict[Tuple[str, str], float] = {}
+    for level in payload.get("levels", []):
+        name = f"c{level['concurrency']}"
+        for metric in _SERVE_DIRECTION:
+            if metric in level:
+                metrics[(metric, name)] = float(level[metric])
+    return metrics
+
+
+def serve_shed_rate(path) -> Optional[float]:
+    """The overload shed rate of a ``serve_load`` report, if present."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("experiment") != "serve_load":
+        return None
+    overload = payload.get("overload") or {}
+    rate = overload.get("shed_rate")
+    return float(rate) if rate is not None else None
+
 
 def compare_compression(
     baseline: Dict[Tuple[str, str], float],
     current: Dict[Tuple[str, str], float],
     threshold: float = DEFAULT_THRESHOLD,
+    directions: Optional[Dict[str, int]] = None,
 ) -> List[dict]:
-    """Direction-aware comparison rows for shared compression metrics."""
+    """Direction-aware comparison rows for shared (metric, name) keys."""
+    if directions is None:
+        directions = _COMPRESSION_DIRECTION
     rows: List[dict] = []
     for key in sorted(set(baseline) & set(current)):
         metric, name = key
         base, cur = baseline[key], current[key]
         ratio = cur / base if base > 0 else float("inf")
-        if _COMPRESSION_DIRECTION.get(metric, 1) > 0:
+        if directions.get(metric, 1) > 0:
             regressed = ratio > 1.0 + threshold
         else:
             regressed = ratio < 1.0 / (1.0 + threshold)
@@ -193,6 +238,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit 0 even on regressions; emit ::warning:: annotations",
     )
     args = parser.parse_args(argv)
+
+    serve_baseline = load_serve(args.baseline)
+    serve_current = load_serve(args.current)
+    if serve_baseline or serve_current:
+        if not (serve_baseline and serve_current):
+            print("compare: no shared serve metrics", file=sys.stderr)
+            return 0 if args.soft else 2
+        rows = compare_compression(
+            serve_baseline,
+            serve_current,
+            threshold=args.threshold,
+            directions=_SERVE_DIRECTION,
+        )
+        for row in rows:
+            print(format_compression_row(row))
+        base_shed = serve_shed_rate(args.baseline)
+        cur_shed = serve_shed_rate(args.current)
+        if base_shed is not None and cur_shed is not None:
+            print(
+                f"overload shed rate: {base_shed * 100:.1f}% -> "
+                f"{cur_shed * 100:.1f}% (informational)"
+            )
+        regressions = [row for row in rows if row["regressed"]]
+        print(
+            f"{len(rows)} serve metrics compared, "
+            f"{len(regressions)} regressed "
+            f"(threshold +{args.threshold * 100:.0f}%)"
+        )
+        if regressions and args.soft:
+            for row in regressions:
+                print(
+                    f"::warning::serve regression {row['metric']} "
+                    f"{row['name']}: {row['ratio']:.2f}x baseline"
+                )
+            return 0
+        return 1 if regressions else 0
 
     comp_baseline = load_compression(args.baseline)
     comp_current = load_compression(args.current)

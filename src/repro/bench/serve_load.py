@@ -1,0 +1,396 @@
+"""Load benchmark for the query daemon: latency vs concurrency + shed rate.
+
+Produces ``BENCH_serve.json`` — throughput and p50/p95/p99 request
+latency at each concurrency level, then a deliberate 2x-overload phase
+measuring how much the admission controller sheds (and that everything
+it accepted actually completed).  Two modes::
+
+    python -m repro.bench.serve_load                       # self-contained
+    python -m repro.bench.serve_load --url http://...      # external daemon
+
+Self-contained mode builds a synthetic store in memory and starts a
+:class:`~repro.serve.http.QueryDaemon` on an ephemeral port; ``--url``
+mode drives a daemon someone else started (the CI smoke job runs
+``repro-gis serve`` and points this tool at it).  All driving happens
+over real HTTP either way — the numbers include the wire.
+
+Requests are spatial viewport queries with per-worker deterministic
+pseudo-random bboxes (the paper's Scenario 1 shape), answered in the
+binary columnar format so the measurement covers the full response path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .parallel_scaling import machine_info, write_report
+
+#: Concurrency levels measured by default.
+DEFAULT_LEVELS = (1, 2, 4, 8)
+
+#: Requests issued per worker at each level.
+DEFAULT_REQUESTS_PER_WORKER = 25
+
+#: Extent of the embedded synthetic store.  ``--url`` mode must name the
+#: served table's real extent (``--extent``) or every viewport misses and
+#: the zone maps answer everything without ever loading a scan slot.
+EXTENT = (0.0, 0.0, 1000.0, 1000.0)
+
+
+def _viewport(
+    rng: np.random.Generator, extent: Sequence[float]
+) -> List[float]:
+    """A random viewport-sized bbox covering ~1-4% of ``extent``."""
+    width = float(rng.uniform(0.05, 0.2)) * (extent[2] - extent[0])
+    height = float(rng.uniform(0.05, 0.2)) * (extent[3] - extent[1])
+    x0 = float(rng.uniform(extent[0], extent[2] - width))
+    y0 = float(rng.uniform(extent[1], extent[3] - height))
+    return [x0, y0, x0 + width, y0 + height]
+
+
+def _post(
+    url: str, payload: Dict[str, Any], timeout: float = 30.0
+) -> Tuple[int, Dict[str, str], bytes]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1))))
+    )
+    return float(sorted_values[rank])
+
+
+def _drive(
+    base_url: str,
+    table: str,
+    concurrency: int,
+    requests_per_worker: int,
+    seed: int,
+    extent: Sequence[float],
+) -> Dict[str, Any]:
+    """Issue requests from ``concurrency`` workers; collect latencies."""
+    latencies: List[float] = []
+    statuses: List[int] = []
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        rng = np.random.default_rng(seed + index)
+        for _ in range(requests_per_worker):
+            payload = {
+                "table": table,
+                "bbox": _viewport(rng, extent),
+                "format": "columnar",
+                "limit": 10_000,
+            }
+            t0 = time.perf_counter()
+            try:
+                status, _, _ = _post(base_url + "/v1/query", payload)
+            except OSError:
+                status = -1
+            elapsed = time.perf_counter() - t0
+            with lock:
+                latencies.append(elapsed)
+                statuses.append(status)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    ok = sum(1 for s in statuses if s == 200)
+    shed = sum(1 for s in statuses if s in (429, 503))
+    errors = len(statuses) - ok - shed
+    ordered = sorted(lat for lat, s in zip(latencies, statuses) if s == 200)
+    return {
+        "concurrency": concurrency,
+        "requests": len(statuses),
+        "completed": ok,
+        "shed": shed,
+        "errors": errors,
+        "wall_seconds": wall,
+        "throughput_rps": (ok / wall) if wall > 0 else 0.0,
+        "p50_s": _percentile(ordered, 0.50),
+        "p95_s": _percentile(ordered, 0.95),
+        "p99_s": _percentile(ordered, 0.99),
+    }
+
+
+def _overload(
+    base_url: str,
+    table: str,
+    admission_limit: int,
+    requests_per_worker: int,
+    seed: int,
+    extent: Sequence[float],
+) -> Dict[str, Any]:
+    """Drive at 2x the admission limit; measure the shed rate.
+
+    The contract under overload: shed requests answer 429 with a
+    ``Retry-After`` hint, accepted requests complete — nothing hangs and
+    nothing queues unboundedly.
+    """
+    concurrency = max(2, admission_limit * 2)
+    shed_latencies: List[float] = []
+    retry_after_present: List[bool] = []
+    lock = threading.Lock()
+    level = {"concurrency": concurrency}
+
+    def worker(index: int) -> None:
+        for _ in range(requests_per_worker):
+            # Full-extent scans: heavy enough that workers genuinely
+            # overlap, so the offered load really is 2x the limit
+            # (light viewports finish before the next arrival and
+            # never saturate the slots).
+            payload = {
+                "table": table,
+                "bbox": list(extent),
+                "format": "columnar",
+                "limit": 50_000,
+            }
+            t0 = time.perf_counter()
+            try:
+                status, headers, _ = _post(base_url + "/v1/query", payload)
+            except OSError:
+                status, headers = -1, {}
+            elapsed = time.perf_counter() - t0
+            with lock:
+                level.setdefault("statuses", []).append(status)
+                if status == 429:
+                    shed_latencies.append(elapsed)
+                    retry_after_present.append("Retry-After" in headers)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    statuses = level.get("statuses", [])
+    ok = sum(1 for s in statuses if s == 200)
+    shed = sum(1 for s in statuses if s == 429)
+    ordered_shed = sorted(shed_latencies)
+    return {
+        "target_concurrency": concurrency,
+        "admission_limit": admission_limit,
+        "requests": len(statuses),
+        "completed": ok,
+        "shed": shed,
+        "errors": len(statuses) - ok - shed,
+        "shed_rate": (shed / len(statuses)) if statuses else 0.0,
+        "wall_seconds": wall,
+        "shed_p95_s": _percentile(ordered_shed, 0.95),
+        "retry_after_on_all_sheds": (
+            all(retry_after_present) if retry_after_present else True
+        ),
+    }
+
+
+def _make_daemon(points: int, max_concurrency: int, queue_depth: int):
+    """A self-contained daemon over a synthetic in-memory store."""
+    from ..api import PointCloudDB
+    from ..obs.context import ObsContext
+    from ..serve.http import QueryDaemon
+    from ..serve.service import QueryService, ServiceConfig
+    from ..serve.snapshot import SnapshotManager
+
+    context = ObsContext.fresh(enabled=False)
+    db = PointCloudDB(obs=context, threads=2)
+    db.create_pointcloud("pts")
+    rng = np.random.default_rng(17)
+    db.load_points(
+        "pts",
+        {
+            "x": rng.uniform(EXTENT[0], EXTENT[2], points),
+            "y": rng.uniform(EXTENT[1], EXTENT[3], points),
+            "z": rng.uniform(0, 50, points),
+        },
+    )
+    manager = SnapshotManager(loader=lambda: db, obs=context)
+    service = QueryService(
+        manager,
+        config=ServiceConfig(
+            max_concurrency=max_concurrency, queue_depth=queue_depth
+        ),
+        obs=context,
+    )
+    return QueryDaemon(service, port=0).start()
+
+
+def run(
+    url: Optional[str] = None,
+    table: str = "pts",
+    points: int = 400_000,
+    levels: Sequence[int] = DEFAULT_LEVELS,
+    requests_per_worker: int = DEFAULT_REQUESTS_PER_WORKER,
+    max_concurrency: int = 4,
+    queue_depth: int = 4,
+    admission_limit: Optional[int] = None,
+    seed: int = 41,
+    extent: Sequence[float] = EXTENT,
+) -> Dict[str, Any]:
+    """Run the full experiment; returns the report payload."""
+    daemon = None
+    if url is None:
+        daemon = _make_daemon(points, max_concurrency, queue_depth)
+        url = daemon.url
+        extent = EXTENT
+    if admission_limit is None:
+        admission_limit = max_concurrency + queue_depth
+    try:
+        # One warmup request (imprint builds, session setup).
+        _post(
+            url + "/v1/query",
+            {"table": table, "bbox": list(extent), "limit": 1},
+        )
+        measured = [
+            _drive(url, table, level, requests_per_worker, seed, extent)
+            for level in levels
+        ]
+        overload = _overload(
+            url, table, admission_limit, requests_per_worker, seed, extent
+        )
+    finally:
+        if daemon is not None:
+            daemon.drain_and_stop()
+    return {
+        "experiment": "serve_load",
+        "machine": machine_info(),
+        "config": {
+            "points": points if daemon is not None else None,
+            "url_mode": daemon is None,
+            "levels": list(levels),
+            "requests_per_worker": requests_per_worker,
+            "max_concurrency": max_concurrency,
+            "queue_depth": queue_depth,
+            "admission_limit": admission_limit,
+            "seed": seed,
+            "extent": list(extent),
+        },
+        "levels": measured,
+        "overload": overload,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.serve_load",
+        description="load-test the query daemon; write BENCH_serve.json",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="drive an already-running daemon instead of an embedded one",
+    )
+    parser.add_argument("--table", default="pts")
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=400_000,
+        help="synthetic store size (embedded mode)",
+    )
+    parser.add_argument(
+        "--levels",
+        default=",".join(str(level) for level in DEFAULT_LEVELS),
+        help="comma-separated concurrency levels",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=DEFAULT_REQUESTS_PER_WORKER,
+        help="requests per worker per level",
+    )
+    parser.add_argument("--max-concurrency", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=4)
+    parser.add_argument(
+        "--admission-limit",
+        type=int,
+        default=None,
+        help="slots+queue of the target daemon (--url mode; the overload "
+        "phase drives at 2x this)",
+    )
+    parser.add_argument(
+        "--extent",
+        default=",".join(str(edge) for edge in EXTENT),
+        metavar="X0,Y0,X1,Y1",
+        help="spatial extent of the served table (--url mode; viewports "
+        "and overload scans are drawn inside it)",
+    )
+    parser.add_argument("--seed", type=int, default=41)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    levels = [int(part) for part in args.levels.split(",") if part.strip()]
+    extent = [float(part) for part in args.extent.split(",")]
+    if len(extent) != 4:
+        parser.error("--extent needs four comma-separated numbers")
+    report = run(
+        url=args.url,
+        table=args.table,
+        points=args.points,
+        levels=levels,
+        requests_per_worker=args.requests,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        admission_limit=args.admission_limit,
+        seed=args.seed,
+        extent=extent,
+    )
+    for level in report["levels"]:
+        print(
+            f"c={level['concurrency']:<3} "
+            f"{level['throughput_rps']:8.1f} req/s  "
+            f"p50={level['p50_s'] * 1e3:7.2f}ms "
+            f"p95={level['p95_s'] * 1e3:7.2f}ms "
+            f"p99={level['p99_s'] * 1e3:7.2f}ms  "
+            f"({level['completed']}/{level['requests']} ok, "
+            f"{level['shed']} shed)"
+        )
+    overload = report["overload"]
+    print(
+        f"overload c={overload['target_concurrency']}: "
+        f"{overload['shed_rate'] * 100:.1f}% shed "
+        f"({overload['shed']}/{overload['requests']}), "
+        f"{overload['completed']} completed, "
+        f"shed p95 {overload['shed_p95_s'] * 1e3:.2f}ms, "
+        f"Retry-After on all sheds: {overload['retry_after_on_all_sheds']}"
+    )
+    path = write_report(Path(args.out), report)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

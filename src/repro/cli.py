@@ -13,6 +13,7 @@ library gets a CLI instead::
     repro-gis sort tile.las sorted.las --curve hilbert      # lassort
     repro-gis index tiles/                                  # lasindex
     repro-gis render tiles/ out.ppm                         # figure 1 style
+    repro-gis serve farm/ --port 8472                       # query daemon
     repro-gis serve-metrics farm/ --port 9464               # OpenMetrics endpoint
     repro-gis slowlog farm/slow-query.jsonl                 # slow-query records
     repro-gis check [--format json]                         # invariant linter
@@ -25,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional
@@ -117,18 +119,32 @@ def _cmd_load(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    """Exit 0 iff the store verifies clean — the contract CI, the
+    daemon's health probe and scripts rely on (locked by tests)."""
+    import json
+
     from .api import PointCloudDB
 
+    repaired: List[str] = []
     if args.repair:
         db = PointCloudDB.recover(args.db)
         for name, health in sorted(db.health.items()):
             for issue in health["issues"]:
-                print(f"repaired {name}: {issue}")
+                repaired.append(f"{name}: {issue}")
+                if not args.json:
+                    print(f"repaired {name}: {issue}")
         for path in db.manager.quarantined:
-            print(f"quarantined imprint: {path}")
+            repaired.append(f"quarantined imprint: {path}")
+            if not args.json:
+                print(f"quarantined imprint: {path}")
     else:
         db = PointCloudDB(directory=args.db)
     report = db.verify()
+    if args.json:
+        if args.repair:
+            report["repaired"] = repaired
+        print(json.dumps(report, indent=2))
+        return 0 if report["ok"] else 1
     if "error" in report:
         print(f"error: {report['error']}", file=sys.stderr)
         return 1
@@ -400,7 +416,7 @@ def _cmd_elevation(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_metrics(args: argparse.Namespace) -> int:
-    from .obs.server import TelemetryServer
+    from .obs.server import PortInUseError, TelemetryServer
 
     health = None
     if args.db:
@@ -414,7 +430,11 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
             }
 
     server = TelemetryServer(host=args.host, port=args.port, health=health)
-    server.start()
+    try:
+        server.start()
+    except PortInUseError as exc:
+        print(f"error: {exc.strerror}", file=sys.stderr)
+        return 1
     print(
         f"serving OpenMetrics on {server.url}/metrics "
         f"(also /healthz, /debug/trace, /debug/queries)",
@@ -430,6 +450,79 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.context import default_context
+    from .obs.server import PortInUseError
+    from .serve import (
+        QueryDaemon,
+        QueryService,
+        ServiceConfig,
+        SnapshotManager,
+        TenantBudget,
+        parse_quota_spec,
+    )
+
+    default_budget = None
+    if args.cpu_budget is not None or args.rows_budget is not None:
+        default_budget = TenantBudget(
+            cpu_seconds=args.cpu_budget, rows_touched=args.rows_budget
+        )
+    config = ServiceConfig(
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        queue_wait_s=args.queue_wait,
+        retry_after_s=args.retry_after,
+        default_timeout_s=args.default_timeout,
+        max_timeout_s=args.max_timeout,
+        drain_timeout_s=args.drain_timeout,
+        quotas=parse_quota_spec(args.quota) if args.quota else {},
+        default_budget=default_budget,
+    )
+    obs = default_context()
+    snapshots = SnapshotManager(
+        directory=args.db, threads=args.threads, obs=obs
+    )
+    # Fail fast: a missing or unusable store should kill the start, not
+    # the first request.
+    snapshot = snapshots.open()
+    service = QueryService(snapshots, config, obs=obs)
+    daemon = QueryDaemon(
+        service,
+        host=args.host,
+        port=args.port,
+        reload_poll_s=args.reload_poll,
+    )
+    try:
+        daemon.start()
+    except PortInUseError as exc:
+        print(f"error: {exc.strerror}", file=sys.stderr)
+        return 1
+    # SIGTERM: shed new work (503), drain in-flight queries, then fall
+    # through to the flight recorder's hook (installed by main()).
+    # signal.signal is main-thread-only; embedded callers (tests drive
+    # main() from a worker thread) still get the daemon, minus signals.
+    if threading.current_thread() is threading.main_thread():
+        daemon.install_signal_handlers()
+    print(
+        f"serving queries on {daemon.url} "
+        f"(POST /v1/query, POST /v1/sql; GET /metrics, /healthz, "
+        f"/debug/queries, /debug/serve) — generation "
+        f"{snapshot.generation}, {config.max_concurrency} slots + "
+        f"{config.queue_depth} queued",
+        flush=True,
+    )
+    try:
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            daemon.wait()  # pragma: no cover - interactive serve loop
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        daemon.drain_and_stop()
     return 0
 
 
@@ -565,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="roll back torn tails, rewrite repaired tables, quarantine "
         "corrupt imprints and compressed sidecars (re-encoding the "
         "latter from their source columns) before verifying",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable verify report (exit code is the "
+        "same contract: 0 clean, 1 corrupt)",
     )
     p.set_defaults(fn=_cmd_verify)
 
@@ -735,6 +834,112 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the loaded database",
     )
     p.set_defaults(fn=_cmd_serve_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve queries over HTTP (POST /v1/query, /v1/sql) with "
+        "bounded admission, per-tenant quotas and graceful drain",
+    )
+    p.add_argument("db", help="database directory to serve")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port (default: 8472; 0 = any free port)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="requests executing at once (default 4)",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="requests allowed to wait for a slot; beyond this they are "
+        "shed with 429 (default 8)",
+    )
+    p.add_argument(
+        "--queue-wait",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="longest a queued request waits before shedding (default 30)",
+    )
+    p.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="Retry-After hint on 429/503 responses (default 1)",
+    )
+    p.add_argument(
+        "--default-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="deadline applied when a request names none",
+    )
+    p.add_argument(
+        "--max-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="ceiling on any request's deadline (default 60)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="how long SIGTERM waits for in-flight queries (default 10)",
+    )
+    p.add_argument(
+        "--quota",
+        default=None,
+        metavar="SPEC",
+        help="per-tenant budgets as 'tenant=cpu_s:rows,...' "
+        "(e.g. 'alice=1.5:100000,bob=2.0')",
+    )
+    p.add_argument(
+        "--cpu-budget",
+        type=float,
+        default=None,
+        metavar="S",
+        help="default per-tenant CPU-seconds budget",
+    )
+    p.add_argument(
+        "--rows-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-tenant rows-touched budget",
+    )
+    p.add_argument(
+        "--reload-poll",
+        type=float,
+        default=None,
+        metavar="S",
+        help="poll the catalog generation every S seconds and republish "
+        "the snapshot after an external writer's publish",
+    )
+    p.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="serve for S seconds then drain and exit (default: until "
+        "SIGTERM/interrupt)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="worker threads for query execution",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "queries",

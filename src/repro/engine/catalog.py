@@ -56,6 +56,12 @@ class Database:
         #: Per-table load/recovery health, populated by :meth:`load`:
         #: ``{name: {"ok": bool, "issues": [str, ...]}}``.
         self.health: Dict[str, Dict[str, Any]] = {}
+        #: Catalog generation: bumped on every :meth:`save` and recorded
+        #: in ``_catalog.json``.  Concurrent readers pin the generation
+        #: they loaded; a writer publishing generation N+1 via the
+        #: atomic catalog replace never perturbs a reader still scanning
+        #: generation N (see ``repro.serve.snapshot``).
+        self.generation: int = 0
 
     # -- table lifecycle ----------------------------------------------------
 
@@ -114,19 +120,30 @@ class Database:
         if root is None:
             raise ValueError("no persistence directory configured")
         root.mkdir(parents=True, exist_ok=True)
+        generation = self.generation + 1
         total = 0
         for name in sorted(self._tables):
-            total += storage.save_table(self._tables[name], root / name)
+            total += storage.save_table(
+                self._tables[name], root / name, generation=generation
+            )
             durable.crash_point("catalog.table_saved", table=name)
-        meta = {"version": 1, "tables": sorted(self._tables)}
+        meta = {
+            "version": 1,
+            "tables": sorted(self._tables),
+            "generation": generation,
+        }
         durable.atomic_write_text(
             root / CATALOG_FILE, json.dumps(meta, indent=2), label="catalog"
         )
+        # The generation becomes current only once the catalog naming it
+        # is durable — a crash before the replace leaves both the on-disk
+        # store and this object at the previous generation.
+        self.generation = generation
         return total
 
     @staticmethod
-    def _catalog_table_names(root: Path) -> Optional[List[str]]:
-        """Table names from ``_catalog.json``, or None for legacy farms."""
+    def _catalog_meta(root: Path) -> Optional[Dict[str, Any]]:
+        """Parsed ``_catalog.json``, or ``None`` for legacy farms."""
         path = root / CATALOG_FILE
         try:
             meta = json.loads(path.read_text())
@@ -136,7 +153,31 @@ class Database:
             raise storage.StorageError(
                 f"{path}: corrupt catalog metadata ({exc})"
             ) from None
+        if not isinstance(meta, dict):
+            raise storage.StorageError(f"{path}: corrupt catalog metadata")
+        return meta
+
+    @classmethod
+    def _catalog_table_names(cls, root: Path) -> Optional[List[str]]:
+        """Table names from ``_catalog.json``, or None for legacy farms."""
+        meta = cls._catalog_meta(root)
+        if meta is None:
+            return None
         return list(meta.get("tables", []))
+
+    @classmethod
+    def read_generation(cls, directory: PathLike) -> int:
+        """The published catalog generation of an on-disk store.
+
+        Reads only ``_catalog.json`` — cheap enough to poll from a
+        serving process deciding whether a writer has published a newer
+        snapshot.  Legacy farms without a catalog (or catalogs written
+        before generations existed) report generation 0.
+        """
+        meta = cls._catalog_meta(Path(directory))
+        if meta is None:
+            return 0
+        return int(meta.get("generation", 0))
 
     @classmethod
     def load(cls, directory: PathLike) -> "Database":
@@ -151,6 +192,7 @@ class Database:
         if not root.is_dir():
             raise storage.StorageError(f"no database directory at {root}")
         db = cls(directory=root)
+        db.generation = cls.read_generation(root)
         names = cls._catalog_table_names(root)
         if names is None:
             # Legacy farm without a catalog file: directory scan.
@@ -225,16 +267,18 @@ class Database:
         db = cls.load(directory)
         root = db.directory
         assert root is not None  # load() always sets it
+        generation = db.generation + 1
         for name in db.table_names:
-            storage.save_table(db.table(name), root / name)
+            storage.save_table(db.table(name), root / name, generation=generation)
         # Unreadable tables stay listed so they keep surfacing in health
         # reports instead of being silently forgotten.
         keep = sorted(
             set(db.table_names)
             | {n for n, h in db.health.items() if not h["ok"]}
         )
-        meta = {"version": 1, "tables": keep}
+        meta = {"version": 1, "tables": keep, "generation": generation}
         durable.atomic_write_text(
             root / CATALOG_FILE, json.dumps(meta, indent=2), label="catalog"
         )
+        db.generation = generation
         return db

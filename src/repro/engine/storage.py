@@ -410,13 +410,21 @@ def table_dir_layout(table: Table) -> Dict[str, str]:
     return {name: f"{name}.col" for name in table.column_names}
 
 
-def save_table(table: Table, directory: PathLike) -> int:
+def save_table(
+    table: Table, directory: PathLike, generation: Optional[int] = None
+) -> int:
     """Persist a table as one ``.col`` file per column plus ``schema.json``.
 
     Column files are written first (each atomically); the table metadata
     goes last, so ``schema.json``'s row count is only ever updated once
     every column holding those rows is durable.  Returns total bytes
     written (excluding the schema file).
+
+    ``generation`` (when given, i.e. on catalog-driven saves) is recorded
+    in ``schema.json`` so a table directory is attributable to the
+    catalog generation that wrote it — a crashed publish leaves some
+    tables one generation ahead of the committed catalog, and the stamp
+    makes that diagnosable from the wreckage alone.
 
     Columns with a compressed execution mirror also get a ``.colz``
     sidecar, written right after their ``.col`` file; an existing sidecar
@@ -443,7 +451,13 @@ def save_table(table: Table, directory: PathLike) -> int:
                 packed = dataclasses.replace(packed, source_crc=crc)
                 column.adopt_packed(packed)
             total += dump_compressed(packed, side)
-    meta = {"name": table.name, "schema": table.schema, "rows": len(table)}
+    meta: Dict[str, Any] = {
+        "name": table.name,
+        "schema": table.schema,
+        "rows": len(table),
+    }
+    if generation is not None:
+        meta["generation"] = generation
     durable.atomic_write_text(
         directory / "schema.json", json.dumps(meta, indent=2), label="schema"
     )

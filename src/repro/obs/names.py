@@ -38,6 +38,11 @@ COUNTERS: FrozenSet[str] = frozenset(
         "query.errors",
         "query.segments_probed",
         "query.segments_skipped",
+        "serve.admitted",
+        "serve.client_disconnects",
+        "serve.errors",
+        "serve.requests",
+        "serve.shed",
         "slowlog.records",
         "sql.queries",
         "trace.spans_dropped",
@@ -49,6 +54,9 @@ GAUGES: FrozenSet[str] = frozenset(
     {
         "obs.server_up",
         "query.active",
+        "serve.draining",
+        "serve.inflight",
+        "serve.queued",
     }
 )
 
@@ -63,6 +71,8 @@ HISTOGRAMS: FrozenSet[str] = frozenset(
         "query.filter_seconds",
         "query.refine_seconds",
         "query.total_seconds",
+        "serve.queue_wait_seconds",
+        "serve.request_seconds",
         "sql.seconds",
     }
 )

@@ -37,11 +37,12 @@ the CLI (``repro-gis serve-metrics --port``), or embed it::
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Type
 from urllib.parse import parse_qs, urlparse
 
 from .metrics import MetricsRegistry, get_registry
@@ -62,6 +63,27 @@ DEFAULT_TRACE_LAST = 10
 HealthCallback = Callable[[], Dict[str, object]]
 
 
+class PortInUseError(OSError):
+    """The requested bind port is already taken by another process.
+
+    Raised by :meth:`TelemetryServer.start` instead of the raw
+    ``OSError(EADDRINUSE)`` the stdlib server produces, so callers (the
+    CLI foremost) can print something actionable — which port, and how
+    to find the squatter — rather than a bare errno traceback.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        super().__init__(
+            errno.EADDRINUSE,
+            f"port {port} on {host} is already in use — another "
+            f"serve/serve-metrics process is likely bound there "
+            f"(`lsof -iTCP:{port} -sTCP:LISTEN` shows its pid); pick "
+            f"another port with --port, or 0 for an OS-assigned one",
+        )
+        self.host = host
+        self.port = port
+
+
 def resolve_port(port: Optional[int]) -> int:
     """An explicit port wins; else ``REPRO_METRICS_PORT``; else 9464."""
     if port is not None:
@@ -75,39 +97,54 @@ def resolve_port(port: Optional[int]) -> int:
     return DEFAULT_PORT
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes one request; the server instance rides on ``self.server``."""
+class TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes one request; the server instance rides on ``self.server``.
+
+    Subclasses (the query daemon's handler in :mod:`repro.serve.http`)
+    extend the route table by overriding :meth:`route_get` and falling
+    back to ``super().route_get(...)`` for the telemetry routes.
+    """
+
+    #: Routes listed in the 404 body; subclasses extend.
+    known_routes = "/metrics /healthz /debug/trace /debug/queries"
 
     # Quiet by default: request logging belongs to metrics, not stderr.
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         return
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server's naming
+    @property
+    def owner(self) -> "TelemetryServer":
         server = self.server
         assert isinstance(server, _TelemetryHTTPServer)
-        server.owner.registry.counter("obs.http_requests").inc()
+        return server.owner
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's naming
+        self.owner.registry.counter("obs.http_requests").inc()
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
+        self.route_get(route, parsed.query)
+
+    def route_get(self, route: str, query: str) -> None:
+        """Dispatch one GET; the extension seam for handler subclasses."""
         if route == "/metrics":
-            self._respond(200, CONTENT_TYPE, render(server.owner.registry))
+            self._respond(200, CONTENT_TYPE, render(self.owner.registry))
         elif route == "/healthz":
-            self._healthz(server)
+            self._healthz()
         elif route == "/debug/trace":
-            self._debug_trace(server, parsed.query)
+            self._debug_trace(query)
         elif route == "/debug/queries":
-            body = json.dumps(server.owner.queries.snapshot()) + "\n"
+            body = json.dumps(self.owner.queries.snapshot()) + "\n"
             self._respond(200, "application/json; charset=utf-8", body)
         else:
             self._respond(
                 404,
                 "text/plain; charset=utf-8",
-                "not found; routes: /metrics /healthz /debug/trace"
-                " /debug/queries\n",
+                f"not found; routes: {self.known_routes}\n",
             )
 
-    def _healthz(self, server: "_TelemetryHTTPServer") -> None:
+    def _healthz(self) -> None:
         payload: Dict[str, object] = {"status": "ok"}
-        health = server.owner.health
+        health = self.owner.health
         if health is not None:
             try:
                 payload.update(health())
@@ -122,7 +159,7 @@ class _Handler(BaseHTTPRequestHandler):
             200, "application/json; charset=utf-8", json.dumps(payload) + "\n"
         )
 
-    def _debug_trace(self, server: "_TelemetryHTTPServer", query: str) -> None:
+    def _debug_trace(self, query: str) -> None:
         params = parse_qs(query)
         try:
             last = int(params.get("last", [str(DEFAULT_TRACE_LAST)])[0])
@@ -131,7 +168,7 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "text/plain; charset=utf-8", "last must be an integer\n"
             )
             return
-        spans = server.owner.tracer.last_traces(max(0, last))
+        spans = self.owner.tracer.last_traces(max(0, last))
         body = json.dumps([span_to_dict(span) for span in spans]) + "\n"
         self._respond(200, "application/json; charset=utf-8", body)
 
@@ -149,8 +186,13 @@ class _TelemetryHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], owner: "TelemetryServer") -> None:
-        super().__init__(address, _Handler)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        owner: "TelemetryServer",
+        handler: Type[TelemetryHandler],
+    ) -> None:
+        super().__init__(address, handler)
         self.owner = owner
 
 
@@ -204,13 +246,28 @@ class TelemetryServer:
     def running(self) -> bool:
         return self._server is not None
 
+    #: Request handler class; subclasses (the query daemon) override to
+    #: extend the route table.
+    handler_class: Type[TelemetryHandler] = TelemetryHandler
+
     def start(self) -> "TelemetryServer":
-        """Bind and serve on a daemon thread; returns self (chainable)."""
+        """Bind and serve on a daemon thread; returns self (chainable).
+
+        A port already bound by another process raises the typed
+        :class:`PortInUseError` instead of a raw ``OSError``.
+        """
         if self._server is not None:
             return self
-        self._server = _TelemetryHTTPServer(
-            (self.host, self._requested_port), self
-        )
+        try:
+            self._server = _TelemetryHTTPServer(
+                (self.host, self._requested_port), self, self.handler_class
+            )
+        except OSError as exc:
+            if exc.errno == errno.EADDRINUSE:
+                raise PortInUseError(
+                    self.host, self._requested_port
+                ) from exc
+            raise
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="repro-telemetry",

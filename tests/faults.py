@@ -181,6 +181,105 @@ def failing_replace(
         durable._replace = real_replace
 
 
+# -- service-layer faults ---------------------------------------------------
+#
+# The PR 8 query daemon extends the harness upward: the crash-point
+# seams inside request handling (``serve.request.received`` /
+# ``admitted`` / ``executed``) compose with :func:`crash_at` and
+# :func:`stall_at` below, and the raw-socket clients simulate the two
+# client-side failure modes an HTTP front end must shrug off — a slow
+# writer and a mid-response disconnect.
+
+
+@contextlib.contextmanager
+def stall_at(name: str, release) -> Iterator[dict]:
+    """Block every firing of crash point ``name`` until ``release`` is set.
+
+    Turns a crash-point seam into a deterministic latency injector: a
+    request parked on ``serve.request.admitted`` holds its admission
+    slot until the test releases it — the only reliable way to fill the
+    daemon's slots and queue without racing on real query durations.
+
+    ``release`` is a :class:`threading.Event`.  The yielded state's
+    ``"stalled"`` counts how many firings blocked.
+    """
+    state = {"stalled": 0}
+
+    def hook(point: str, context: dict) -> None:
+        if point == name:
+            state["stalled"] += 1
+            release.wait(timeout=30.0)
+
+    durable.set_crash_hook(hook)
+    try:
+        yield state
+    finally:
+        durable.set_crash_hook(None)
+
+
+def raw_post(
+    host: str,
+    port: int,
+    path: str,
+    body: bytes,
+    headers: Optional[dict] = None,
+    send_chunk: Optional[int] = None,
+    send_delay_s: float = 0.0,
+    read_limit: Optional[int] = None,
+    reset: bool = False,
+    timeout_s: float = 10.0,
+) -> bytes:
+    """A raw-socket POST with injectable client misbehaviour.
+
+    ``send_chunk``/``send_delay_s`` drip the body out slowly (a slow
+    client); ``read_limit`` stops reading the response after N bytes and
+    ``reset=True`` then closes with RST via ``SO_LINGER 0`` (a
+    mid-response disconnect).  Returns whatever response bytes were
+    read (possibly empty).
+    """
+    import socket
+    import struct
+    import time
+
+    request_headers = {
+        "Host": f"{host}:{port}",
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    request_headers.update(headers or {})
+    head = f"POST {path} HTTP/1.1\r\n" + "".join(
+        f"{k}: {v}\r\n" for k, v in request_headers.items()
+    ) + "\r\n"
+    sock = socket.create_connection((host, port), timeout=timeout_s)
+    try:
+        sock.sendall(head.encode("ascii"))
+        if send_chunk is None:
+            sock.sendall(body)
+        else:
+            for start in range(0, len(body), send_chunk):
+                sock.sendall(body[start:start + send_chunk])
+                if send_delay_s:
+                    time.sleep(send_delay_s)
+        received = b""
+        while read_limit is None or len(received) < read_limit:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            received += chunk
+        if reset:
+            # RST instead of FIN: the server's next write dies with
+            # ECONNRESET / EPIPE instead of quietly buffering.
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        return received
+    finally:
+        sock.close()
+
+
 def counter_value(name: str) -> int:
     """Current value of a metrics-registry counter (0 if never touched)."""
     from repro.obs.metrics import get_registry

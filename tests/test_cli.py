@@ -436,3 +436,148 @@ class TestToolCommands:
             main(["elevation", str(tmp_path), "--out", str(tmp_path / "o")])
             == 1
         )
+
+
+class TestVerifyCommand:
+    """`repro-gis verify` exit codes: the contract CI and probes rely on."""
+
+    @pytest.fixture
+    def own_db(self, tmp_path, tile_dir):
+        directory = tmp_path / "verify_db"
+        assert main(["load", str(tile_dir), "--db", str(directory)]) == 0
+        return directory
+
+    def _corrupt(self, db):
+        target = db / "points" / "x.col"
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        target.write_bytes(bytes(data))
+
+    def test_clean_store_exits_zero(self, own_db, capsys):
+        assert main(["verify", str(own_db)]) == 0
+        assert "verify: OK" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_nonzero(self, own_db, capsys):
+        self._corrupt(own_db)
+        assert main(["verify", str(own_db)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "verify: FAILED" in out
+
+    def test_json_output_clean(self, own_db, capsys):
+        import json
+
+        assert main(["verify", str(own_db), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["tables"]["points"]["ok"] is True
+        assert report["imprints"]["ok"] is True
+
+    def test_json_output_corrupt(self, own_db, capsys):
+        import json
+
+        self._corrupt(own_db)
+        assert main(["verify", str(own_db), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+
+    def test_repair_then_clean(self, own_db, capsys):
+        self._corrupt(own_db)
+        assert main(["verify", str(own_db)]) == 1
+        capsys.readouterr()
+        # Repair quarantines/rolls back the bad column, then re-verifies.
+        main(["verify", str(own_db), "--repair"])
+        capsys.readouterr()
+        assert main(["verify", str(own_db)]) in (0, 1)
+
+
+class TestServeCommand:
+    def test_serves_queries_for_deadline(self, db_dir, capsys):
+        import json
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    [
+                        "serve",
+                        str(db_dir),
+                        "--port",
+                        "0",
+                        "--for-seconds",
+                        "4",
+                        "--threads",
+                        "1",
+                    ]
+                )
+            )
+        )
+        thread.start()
+        printed, base = "", None
+        for _ in range(150):
+            printed += capsys.readouterr().out
+            match = re.search(r"http://[\d.]+:\d+", printed)
+            if match:
+                base = match.group(0)
+                break
+            time.sleep(0.05)
+        assert base is not None, f"no URL printed: {printed!r}"
+        request = urllib.request.Request(
+            base + "/v1/query",
+            data=json.dumps(
+                {
+                    "table": "points",
+                    "bbox": [85000, 445000, 87000, 447000],
+                    "limit": 5,
+                }
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read())
+        thread.join(timeout=30)
+        assert codes == [0]
+        assert payload["meta"]["n_results"] == 5000
+        assert payload["meta"]["n_returned"] == 5
+        assert "serving queries on" in printed
+
+    def test_port_in_use_is_actionable(self, db_dir, capsys):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.server import TelemetryServer
+        from repro.obs.trace import Tracer
+
+        blocker = TelemetryServer(
+            port=0, registry=MetricsRegistry(), tracer=Tracer(enabled=False)
+        ).start()
+        try:
+            code = main(
+                ["serve", str(db_dir), "--port", str(blocker.port)]
+            )
+        finally:
+            blocker.stop()
+        assert code == 1
+        err = capsys.readouterr().err
+        assert str(blocker.port) in err
+        assert "in use" in err
+
+    def test_serve_metrics_port_in_use_is_actionable(self, db_dir, capsys):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.server import TelemetryServer
+        from repro.obs.trace import Tracer
+
+        blocker = TelemetryServer(
+            port=0, registry=MetricsRegistry(), tracer=Tracer(enabled=False)
+        ).start()
+        try:
+            code = main(
+                ["serve-metrics", str(db_dir), "--port", str(blocker.port)]
+            )
+        finally:
+            blocker.stop()
+        assert code == 1
+        assert str(blocker.port) in capsys.readouterr().err

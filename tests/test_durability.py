@@ -167,12 +167,26 @@ def _ingest(root, paths, resume=False):
     return job.load(paths, resume=resume)
 
 
+def _strip_generation(raw: bytes) -> bytes:
+    """Drop the catalog-generation stamp from a metadata file.
+
+    The generation counts *publishes*, so a crashed-and-resumed ingest
+    legitimately lands one save ahead of a clean run; content identity
+    is what resume guarantees.
+    """
+    meta = json.loads(raw)
+    meta.pop("generation", None)
+    return json.dumps(meta, indent=2).encode()
+
+
 def _store_state(root):
     """The durable artifacts a resumed ingest must reproduce exactly."""
     table_dir = root / "points"
     state = {p.name: p.read_bytes() for p in sorted(table_dir.glob("*.col"))}
-    state["schema.json"] = (table_dir / "schema.json").read_bytes()
-    state[CATALOG_FILE] = (root / CATALOG_FILE).read_bytes()
+    state["schema.json"] = _strip_generation(
+        (table_dir / "schema.json").read_bytes()
+    )
+    state[CATALOG_FILE] = _strip_generation((root / CATALOG_FILE).read_bytes())
     return state
 
 

@@ -1,0 +1,228 @@
+"""Admission control: bounded slots, bounded queue, immediate shed."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController, AdmissionRejected
+
+
+def fill_slots(controller, n):
+    """Occupy ``n`` slots from worker threads; returns (release, joiner).
+
+    Each worker acquires a slot, signals readiness, then parks on the
+    release event — deterministic in-flight load without real queries.
+    """
+    release = threading.Event()
+    ready = threading.Barrier(n + 1)
+    threads = []
+
+    def hold():
+        controller.acquire()
+        try:
+            ready.wait(timeout=10)
+            release.wait(timeout=10)
+        finally:
+            controller.release()
+
+    for _ in range(n):
+        thread = threading.Thread(target=hold, daemon=True)
+        thread.start()
+        threads.append(thread)
+    ready.wait(timeout=10)
+
+    def join():
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10)
+
+    return release, join
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestBasics:
+    def test_admit_and_release(self, registry):
+        ctl = AdmissionController(max_concurrency=2, registry=registry)
+        with ctl.admit():
+            assert ctl.inflight == 1
+        assert ctl.inflight == 0
+        assert registry.counter("serve.admitted").value == 1
+
+    def test_slot_released_on_error(self, registry):
+        ctl = AdmissionController(max_concurrency=1, registry=registry)
+        with pytest.raises(RuntimeError, match="boom"):
+            with ctl.admit():
+                raise RuntimeError("boom")
+        assert ctl.inflight == 0
+
+    def test_parameter_validation(self, registry):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0, registry=registry)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_depth=-1, registry=registry)
+
+    def test_snapshot_shape(self, registry):
+        ctl = AdmissionController(
+            max_concurrency=3, queue_depth=5, registry=registry
+        )
+        snap = ctl.snapshot()
+        assert snap == {
+            "inflight": 0,
+            "queued": 0,
+            "max_concurrency": 3,
+            "queue_depth": 5,
+            "draining": False,
+        }
+
+
+class TestShedding:
+    def test_saturated_beyond_queue_sheds(self, registry):
+        ctl = AdmissionController(
+            max_concurrency=1, queue_depth=0, registry=registry
+        )
+        _, join = fill_slots(ctl, 1)
+        try:
+            with pytest.raises(AdmissionRejected) as info:
+                ctl.acquire()
+            assert info.value.reason == "saturated"
+            assert info.value.inflight == 1
+            assert registry.counter("serve.shed").value == 1
+        finally:
+            join()
+
+    def test_shed_is_immediate(self, registry):
+        """The 429 decision is constant-time — the acceptance criterion
+        "shed within 100ms" is enforced strictly at this layer."""
+        ctl = AdmissionController(
+            max_concurrency=1, queue_depth=0, registry=registry
+        )
+        _, join = fill_slots(ctl, 1)
+        try:
+            t0 = time.monotonic()
+            for _ in range(50):
+                with pytest.raises(AdmissionRejected):
+                    ctl.acquire()
+            assert time.monotonic() - t0 < 0.1
+        finally:
+            join()
+
+    def test_retry_after_hint(self, registry):
+        ctl = AdmissionController(
+            max_concurrency=1,
+            queue_depth=0,
+            retry_after_s=2.5,
+            registry=registry,
+        )
+        _, join = fill_slots(ctl, 1)
+        try:
+            with pytest.raises(AdmissionRejected) as info:
+                ctl.acquire()
+            assert info.value.retry_after_s == 2.5
+        finally:
+            join()
+
+    def test_queue_timeout(self, registry):
+        ctl = AdmissionController(
+            max_concurrency=1,
+            queue_depth=1,
+            queue_wait_s=0.05,
+            registry=registry,
+        )
+        _, join = fill_slots(ctl, 1)
+        try:
+            with pytest.raises(AdmissionRejected) as info:
+                ctl.acquire()
+            assert info.value.reason == "queue_timeout"
+            assert ctl.queued == 0
+        finally:
+            join()
+
+
+class TestQueueing:
+    def test_queued_request_proceeds_after_release(self, registry):
+        ctl = AdmissionController(
+            max_concurrency=1, queue_depth=1, registry=registry
+        )
+        release, join = fill_slots(ctl, 1)
+        admitted = threading.Event()
+
+        def waiter():
+            with ctl.admit():
+                admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if ctl.queued == 1:
+                break
+            time.sleep(0.005)
+        assert ctl.queued == 1
+        assert not admitted.is_set()
+        join()  # free the slot
+        assert admitted.wait(timeout=5)
+        thread.join(timeout=5)
+        assert registry.counter("serve.admitted").value == 2
+        assert registry.histogram("serve.queue_wait_seconds").count == 1
+
+    def test_gauges_track_state(self, registry):
+        ctl = AdmissionController(max_concurrency=2, registry=registry)
+        _, join = fill_slots(ctl, 2)
+        try:
+            assert registry.gauge("serve.inflight").value == 2.0
+        finally:
+            join()
+        assert registry.gauge("serve.inflight").value == 0.0
+
+
+class TestDraining:
+    def test_new_arrivals_rejected(self, registry):
+        ctl = AdmissionController(registry=registry)
+        ctl.begin_drain()
+        with pytest.raises(AdmissionRejected) as info:
+            ctl.acquire()
+        assert info.value.reason == "draining"
+        assert registry.gauge("serve.draining").value == 1.0
+
+    def test_queued_waiters_fail_out(self, registry):
+        ctl = AdmissionController(
+            max_concurrency=1, queue_depth=2, registry=registry
+        )
+        _, join = fill_slots(ctl, 1)
+        errors = []
+
+        def waiter():
+            try:
+                ctl.acquire()
+                ctl.release()
+            except AdmissionRejected as exc:
+                errors.append(exc.reason)
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if ctl.queued == 1:
+                break
+            time.sleep(0.005)
+        ctl.begin_drain()
+        thread.join(timeout=5)
+        assert errors == ["draining"]
+        join()
+
+    def test_wait_drained(self, registry):
+        ctl = AdmissionController(max_concurrency=2, registry=registry)
+        release, join = fill_slots(ctl, 2)
+        ctl.begin_drain()
+        assert ctl.wait_drained(timeout_s=0.05) is False  # still in flight
+        join()
+        assert ctl.wait_drained(timeout_s=5) is True
+
+    def test_wait_drained_when_idle(self, registry):
+        ctl = AdmissionController(registry=registry)
+        ctl.begin_drain()
+        assert ctl.wait_drained(timeout_s=0.1) is True

@@ -1,0 +1,133 @@
+"""The binary columnar wire format: round trips and hostile frames."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import wire
+from repro.serve.wire import (
+    WireFormatError,
+    decode_columns,
+    encode_columns,
+    encodable,
+)
+
+
+class TestRoundTrip:
+    def test_float_and_int_columns(self):
+        columns = {
+            "x": np.arange(100, dtype=np.float64) * 0.5,
+            "y": np.arange(100, dtype=np.float32),
+            "cls": np.arange(100, dtype=np.int32) % 7,
+            "flag": np.arange(100) % 2 == 0,
+        }
+        back = decode_columns(encode_columns(columns))
+        assert list(back) == ["x", "y", "cls", "flag"]
+        for name, array in columns.items():
+            assert back[name].dtype == array.dtype
+            np.testing.assert_array_equal(back[name], array)
+
+    def test_empty_columns(self):
+        columns = {"x": np.array([], dtype=np.float64)}
+        back = decode_columns(encode_columns(columns))
+        assert back["x"].shape == (0,)
+        assert back["x"].dtype == np.float64
+
+    def test_no_columns(self):
+        assert decode_columns(encode_columns({})) == {}
+
+    def test_order_preserved(self):
+        columns = {
+            name: np.full(3, i, dtype=np.int64)
+            for i, name in enumerate("zebra apple mango".split())
+        }
+        assert list(decode_columns(encode_columns(columns))) == [
+            "zebra",
+            "apple",
+            "mango",
+        ]
+
+    def test_big_endian_input_normalised(self):
+        big = np.arange(10, dtype=">f8")
+        back = decode_columns(encode_columns({"x": big}))
+        np.testing.assert_array_equal(back["x"], big.astype("<f8"))
+        assert back["x"].dtype.str == "<f8"
+
+    def test_non_contiguous_input(self):
+        strided = np.arange(20, dtype=np.float64)[::2]
+        back = decode_columns(encode_columns({"x": strided}))
+        np.testing.assert_array_equal(back["x"], strided)
+
+
+class TestEncodeErrors:
+    def test_object_dtype_rejected(self):
+        with pytest.raises(WireFormatError, match="dtype"):
+            encode_columns({"name": np.array(["a", "b"], dtype=object)})
+
+    def test_unicode_dtype_rejected(self):
+        assert not encodable(np.array(["a", "b"]))
+        with pytest.raises(WireFormatError):
+            encode_columns({"name": np.array(["a", "b"])})
+
+
+class TestDecodeErrors:
+    def _frame(self):
+        return encode_columns({"x": np.arange(8, dtype=np.float64)})
+
+    def test_truncated_prelude(self):
+        with pytest.raises(WireFormatError, match="truncated"):
+            decode_columns(b"RS")
+
+    def test_bad_magic(self):
+        frame = bytearray(self._frame())
+        frame[:4] = b"NOPE"
+        with pytest.raises(WireFormatError, match="magic"):
+            decode_columns(bytes(frame))
+
+    def test_bad_version(self):
+        frame = bytearray(self._frame())
+        struct.pack_into("<H", frame, 4, 99)
+        with pytest.raises(WireFormatError, match="version"):
+            decode_columns(bytes(frame))
+
+    def test_implausible_header_length(self):
+        frame = bytearray(self._frame())
+        struct.pack_into("<I", frame, 6, 2**31)
+        with pytest.raises(WireFormatError, match="implausible"):
+            decode_columns(bytes(frame))
+
+    def test_header_cut_short(self):
+        frame = self._frame()
+        with pytest.raises(WireFormatError, match="header"):
+            decode_columns(frame[: wire._PRELUDE.size + 3])
+
+    def test_corrupt_header_json(self):
+        header = b"{not json"
+        frame = wire._PRELUDE.pack(wire.MAGIC, wire.VERSION, len(header))
+        with pytest.raises(WireFormatError, match="corrupt frame header"):
+            decode_columns(frame + header)
+
+    def test_truncated_payload(self):
+        frame = self._frame()
+        with pytest.raises(WireFormatError, match="truncated"):
+            decode_columns(frame[:-8])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_columns(self._frame() + b"junk")
+
+    def test_negative_count(self):
+        header = json.dumps(
+            {"columns": [{"name": "x", "dtype": "<f8", "count": -1}]}
+        ).encode()
+        frame = wire._PRELUDE.pack(wire.MAGIC, wire.VERSION, len(header))
+        with pytest.raises(WireFormatError, match="negative"):
+            decode_columns(frame + header)
+
+    def test_corrupt_column_entry(self):
+        header = json.dumps({"columns": [{"name": "x"}]}).encode()
+        frame = wire._PRELUDE.pack(wire.MAGIC, wire.VERSION, len(header))
+        with pytest.raises(WireFormatError, match="corrupt column"):
+            decode_columns(frame + header)
