@@ -16,32 +16,62 @@ to enforce:
 * every metric name used in ``src/`` is declared in
   :mod:`repro.obs.names` (R6).
 
+PRs 7-8 added code whose bugs are *paths*, not statements — leaked
+admission slots, unmapped exception classes, blocking I/O inside a
+critical section — so the framework also builds intraprocedural
+control-flow graphs (:mod:`repro.analysis.cfg`) and runs a generic
+acquire/release dataflow (:mod:`repro.analysis.dataflow`) under five
+flow-aware rules:
+
+* acquired resources (slots, pins, checkouts, file handles) reach
+  their release on every exit path (R7),
+* typed exceptions raised in ``serve/*`` and the cancellation path
+  have an explicit HTTP status mapping (R8),
+* no fsync/socket/sleep/subprocess while a lock is held (R9),
+* raw ``threading.Thread`` in hot paths carries contextvars (R10),
+* segment scan loops reach a cooperative deadline check (R11).
+
 The framework is zero-dependency (stdlib ``ast`` only): rules register
-in a global registry, findings can be grandfathered into a committed
-baseline file with a justification, and reports render as text or
-JSON.  Run it as ``repro-gis check`` or ``python -m repro.analysis``.
+in a global registry and run over one shared module walk with a cached
+per-module CFG store, findings can be grandfathered into a committed
+baseline file with a justification, and reports render as text, JSON
+or SARIF.  Run it as ``repro-gis check`` or ``python -m repro.analysis``.
 """
 
-from .engine import Project, run_check
+from .cfg import CFG, build_cfg, function_cfgs
+from .dataflow import Leak, find_leaks
+from .engine import AnalysisContext, Config, Project, run_check
 from .findings import Finding, Severity
 from .registry import Rule, all_rules, get_rule, register
 
 # Importing the rule modules registers them.
 from .rules import (  # noqa: F401
+    blocking_under_lock,
+    cancellation_coverage,
     counter_registry,
     crash_transparency,
     durable_write,
+    exception_status,
     lock_discipline,
+    resource_leak,
     span_discipline,
     struct_format,
+    thread_boundary,
 )
 
 __all__ = [
+    "AnalysisContext",
+    "CFG",
+    "Config",
     "Finding",
-    "Severity",
-    "Rule",
+    "Leak",
     "Project",
+    "Rule",
+    "Severity",
     "all_rules",
+    "build_cfg",
+    "find_leaks",
+    "function_cfgs",
     "get_rule",
     "register",
     "run_check",

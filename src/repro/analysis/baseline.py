@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Set, Union
 
 from .findings import Finding
 
@@ -45,7 +45,9 @@ class BaselineEntry:
 class Baseline:
     """Lookup table from finding key to baseline entry."""
 
-    def __init__(self, entries: Optional[Iterable[BaselineEntry]] = None):
+    def __init__(
+        self, entries: Optional[Iterable[BaselineEntry]] = None
+    ) -> None:
         self._entries: Dict[str, BaselineEntry] = {}
         self._hits: Dict[str, int] = {}
         for entry in entries or ():
@@ -116,8 +118,8 @@ class Baseline:
     ) -> "Baseline":
         """A new baseline covering ``findings``, keeping justifications
         from ``previous`` where the entry survives."""
-        entries = []
-        seen = set()
+        entries: List[BaselineEntry] = []
+        seen: Set[str] = set()
         for finding in findings:
             if finding.key in seen:
                 continue

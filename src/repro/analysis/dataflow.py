@@ -1,0 +1,94 @@
+"""Generic acquire/release dataflow over a function CFG.
+
+The question every resource protocol reduces to: *starting from a
+successful acquire, can control reach a function exit without passing a
+release?*  :func:`find_leaks` answers it on the
+:class:`~repro.analysis.cfg.CFG` built for the enclosing function:
+
+* the search starts at the acquire node's **normal** successors — if
+  the acquire call itself raises, nothing was acquired and there is
+  nothing to leak;
+* release nodes are *barriers*: reachability never steps onto one, so
+  whatever remains reachable got there release-free;
+* reaching ``exit`` is a plain leak (an early ``return``/fall-through
+  skipped the release); reaching ``raise_exit`` is the exception-escape
+  window (some statement between acquire and release can raise, and no
+  ``finally``/handler releases on that path).
+
+Because the CFG routes ``return``/``break``/``continue`` through open
+``finally`` blocks and gives every can-raise statement an exceptional
+edge, the canonical safe shapes come out clean by construction:
+``acquire()`` immediately followed by ``try: ... finally: release()``
+(entering a ``try`` cannot raise), and ``with``-managed acquisition
+(no explicit acquire statement at all).
+
+The pass is deliberately generic — acquire and release are just node
+sets — so R7 drives it once per ``(acquire, release)`` method pair and
+once per tracked file handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+from .cfg import CFG, Node
+
+__all__ = ["Leak", "find_leaks"]
+
+
+@dataclass
+class Leak:
+    """One acquire with at least one release-free path out.
+
+    ``exceptional`` is True when the escaping path ends at
+    ``raise_exit`` (an exception window) rather than a normal return;
+    ``witness`` is a shortest such path, acquire-successor first, for
+    the finding message.
+    """
+
+    acquire: Node
+    exceptional: bool
+    witness: List[Node]
+
+    def escape_node(self) -> Optional[Node]:
+        """The last real statement on the witness path (the point the
+        resource escapes through), if the path has one."""
+        for node in reversed(self.witness):
+            if node.stmt is not None:
+                return node
+        return None
+
+
+def find_leaks(
+    cfg: CFG,
+    acquires: Sequence[Node],
+    releases: Sequence[Node],
+) -> List[Leak]:
+    """At most one :class:`Leak` per acquire node, exceptional escapes
+    preferred as the witness (they are the subtler bug)."""
+    barrier: FrozenSet[int] = frozenset(n.index for n in releases)
+    leaks: List[Leak] = []
+    for acquire in acquires:
+        starts = [
+            node
+            for node, label in cfg.successors(acquire)
+            if label != "exc" and node.index not in barrier
+        ]
+        reached = set()
+        for start in starts:
+            reached |= cfg.reach(start, avoid=barrier)
+        hits_raise = cfg.raise_exit.index in reached
+        hits_exit = cfg.exit.index in reached
+        if not (hits_raise or hits_exit):
+            continue
+        target = cfg.raise_exit if hits_raise else cfg.exit
+        witness: List[Node] = []
+        for start in starts:
+            path = cfg.find_path(start, [target], avoid=barrier)
+            if path is not None and (not witness or len(path) < len(witness)):
+                witness = path
+        leaks.append(
+            Leak(acquire=acquire, exceptional=hits_raise, witness=witness)
+        )
+    return leaks

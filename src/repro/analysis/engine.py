@@ -1,12 +1,16 @@
-"""Project model and the check driver.
+"""Project model, the analysis context and the check driver.
 
 :func:`run_check` walks a source tree, parses every ``.py`` file once,
-hands the parsed modules to each registered rule, applies the baseline
-and returns a :class:`~repro.analysis.findings.Report`.  Everything a
-rule needs — source, AST, per-line text, project-level lookups — lives
-on :class:`ModuleInfo` / :class:`Project`, so rules never touch the
-filesystem themselves (which is what makes them trivially testable on
-synthetic fixture trees).
+then drives every selected rule through one shared module walk:
+``prepare`` once, ``check_module`` per file, ``finish`` once.  The
+walk owns an :class:`AnalysisContext` that carries the configuration,
+per-rule scratch state and a lazy per-module CFG cache, so a module's
+control-flow graphs are built at most once no matter how many
+flow-aware rules ask for them.  Everything a rule needs — source, AST,
+per-line text, CFG facts, project-level lookups — lives on
+:class:`ModuleInfo` / :class:`Project` / :class:`AnalysisContext`, so
+rules never touch the filesystem themselves (which is what makes them
+trivially testable on synthetic fixture trees).
 """
 
 from __future__ import annotations
@@ -14,10 +18,20 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .baseline import Baseline
-from .findings import Finding, Report, Severity
+from .cfg import CFG, function_cfgs
+from .findings import Finding, Report
 from .registry import Rule, select_rules
 
 
@@ -25,6 +39,19 @@ def _default_metric_names() -> Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[s
     from ..obs import names
 
     return (names.COUNTERS, names.GAUGES, names.HISTOGRAMS)
+
+
+#: Modules the service layer contributes to the concurrency-sensitive
+#: scan sets (R8/R9/R10 defaults below).
+_SERVE_MODULES = (
+    "repro/serve/admission.py",
+    "repro/serve/http.py",
+    "repro/serve/quotas.py",
+    "repro/serve/service.py",
+    "repro/serve/sessions.py",
+    "repro/serve/snapshot.py",
+    "repro/serve/wire.py",
+)
 
 
 @dataclass
@@ -83,10 +110,69 @@ class Config:
         Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]
     ] = None
 
+    #: R7: acquire-method -> release-method pairs the leak analysis
+    #: tracks (the admission slot, snapshot pin, session checkout and
+    #: hand-driven context-manager protocols, plus bare Lock.acquire).
+    resource_pairs: Tuple[Tuple[str, str], ...] = (
+        ("acquire", "release"),
+        ("pin", "unpin"),
+        ("_pin", "_unpin"),
+        ("checkout", "checkin"),
+        ("__enter__", "__exit__"),
+    )
+    #: R8: modules whose typed exceptions must be status-mapped, and the
+    #: front-end module whose handlers define the mapping.
+    serve_modules: FrozenSet[str] = frozenset(_SERVE_MODULES)
+    status_module: str = "repro/serve/http.py"
+    #: R8: exception classes defined elsewhere that the serve layer must
+    #: still map (``relpath::ClassName``) — the cancellation path.
+    extra_status_exceptions: FrozenSet[str] = frozenset(
+        {"repro/obs/queries.py::QueryCancelled"}
+    )
+    #: R9: modules scanned for blocking calls under a held lock (the
+    #: R3 set plus the service layer's lock-owning modules).
+    blocking_scan_modules: FrozenSet[str] = frozenset(
+        {
+            "repro/obs/metrics.py",
+            "repro/obs/trace.py",
+            "repro/obs/context.py",
+            "repro/obs/queries.py",
+            "repro/engine/parallel.py",
+            "repro/core/imprints/manager.py",
+        }
+        | set(_SERVE_MODULES)
+    )
+    #: R10: modules where a raw ``threading.Thread`` spawn must copy
+    #: contextvars or go through ``parallel.run_tasks``.
+    thread_modules: FrozenSet[str] = frozenset(
+        {
+            "repro/core/query.py",
+            "repro/core/imprints/manager.py",
+            "repro/engine/select.py",
+            "repro/engine/parallel.py",
+            "repro/engine/aggregate.py",
+            "repro/engine/join.py",
+            "repro/engine/compression.py",
+            "repro/engine/compressed.py",
+            "repro/engine/kernels.py",
+            "repro/sql/executor.py",
+        }
+        | set(_SERVE_MODULES)
+    )
+    #: R11: modules whose segment/morsel scan loops must reach a
+    #: cooperative deadline check (the hot-path set plus the imprint
+    #: segment store, which is where the scan loops actually live).
+    cancellation_modules: Optional[FrozenSet[str]] = None
+
     def metrics(self) -> Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]:
         if self.metric_names is not None:
             return self.metric_names
         return _default_metric_names()
+
+    def cancellation_scan_modules(self) -> FrozenSet[str]:
+        if self.cancellation_modules is not None:
+            return self.cancellation_modules
+        return self.hotpath_modules | {"repro/core/imprints/segments.py"}
 
 
 @dataclass
@@ -115,7 +201,9 @@ class ModuleInfo:
 class Project:
     """All parsed modules plus the rule configuration."""
 
-    def __init__(self, modules: Sequence[ModuleInfo], config: Optional[Config] = None):
+    def __init__(
+        self, modules: Sequence[ModuleInfo], config: Optional[Config] = None
+    ) -> None:
         self.modules = list(modules)
         self.config = config if config is not None else Config()
         self._by_relpath: Dict[str, ModuleInfo] = {
@@ -141,7 +229,7 @@ class Project:
         if paths is None:
             files = sorted(p for p in root.rglob("*.py") if p.is_file())
         else:
-            files = [Path(p).resolve() for p in paths]
+            files = sorted(Path(p).resolve() for p in paths)
         modules = []
         for path in files:
             try:
@@ -150,6 +238,37 @@ class Project:
                 rel = path.name
             modules.append(ModuleInfo.parse(path, rel))
         return cls(modules, config=config)
+
+
+class AnalysisContext:
+    """Shared state for one :func:`run_check` run.
+
+    ``state`` is per-rule scratch keyed by rule id — rule instances are
+    global singletons, so anything accumulated across modules (lock
+    edges, raised-exception inventories) must live here, not on the
+    rule.  ``cfgs``/``cfg`` expose the lazily built, cached control-flow
+    graphs; the first flow-aware rule to ask pays the construction cost
+    for a module, everyone after reads the cache.
+    """
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.config = project.config
+        self.state: Dict[str, Any] = {}
+        self._cfg_cache: Dict[str, Dict[int, CFG]] = {}
+
+    def cfgs(self, module: ModuleInfo) -> Dict[int, CFG]:
+        """Every function CFG in ``module``, keyed by ``id(func_node)``."""
+        cached = self._cfg_cache.get(module.relpath)
+        if cached is None:
+            cached = function_cfgs(module.tree)
+            self._cfg_cache[module.relpath] = cached
+        return cached
+
+    def cfg(self, module: ModuleInfo, func: ast.AST) -> Optional[CFG]:
+        """The CFG of one function node in ``module`` (None for nodes
+        that are not function definitions of this module)."""
+        return self.cfgs(module).get(id(func))
 
 
 def default_root() -> Path:
@@ -179,8 +298,12 @@ def run_check(
     rule_ids: Optional[Iterable[str]] = None,
     paths: Optional[Sequence[Path]] = None,
 ) -> Report:
-    """Run the registered rules and fold in the baseline.
+    """Run the registered rules over one shared module walk and fold in
+    the baseline.
 
+    ``rule_ids`` accepts long ids and short codes (``R7``).  ``paths``
+    restricts the scan to an explicit file list (the CLI's ``--path``
+    filter resolves directories to their ``.py`` files first).
     ``baseline`` wins over ``baseline_path``; passing neither loads the
     committed default (missing file = empty baseline).
     """
@@ -195,11 +318,15 @@ def run_check(
         baseline = Baseline.load(path)
 
     rules = select_rules(rule_ids)
+    ctx = AnalysisContext(project)
     findings: List[Finding] = []
     for rule in rules:
-        for module in project.modules:
-            findings.extend(rule.check_module(module))
-        findings.extend(rule.check_project(project))
+        rule.prepare(ctx)
+    for module in project.modules:
+        for rule in rules:
+            findings.extend(rule.check_module(module, ctx))
+    for rule in rules:
+        findings.extend(rule.finish(ctx))
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     report = Report(files_scanned=len(project.modules))
@@ -208,5 +335,8 @@ def run_check(
             report.suppressed.append(finding)
         else:
             report.findings.append(finding)
-    report.unused_baseline = baseline.unused()
+    if paths is None:
+        # Stale-entry detection only means something on a full-tree
+        # scan; a --path run legitimately never touches most entries.
+        report.unused_baseline = baseline.unused()
     return report

@@ -8,10 +8,16 @@ from typing import Any, Dict
 
 
 class Severity(str, enum.Enum):
-    """How bad a finding is; ``ERROR`` findings fail the check."""
+    """How bad a finding is; ``ERROR`` findings fail the check.
+
+    ``NOTE`` is the informational tier: the CI run over ``tests/``
+    demotes everything to it, so the findings land in the SARIF
+    artifact without failing the job.
+    """
 
     ERROR = "error"
     WARNING = "warning"
+    NOTE = "note"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -1,11 +1,28 @@
 """Rule base class and the global rule registry.
 
-A rule subclasses :class:`Rule`, sets ``id``/``severity``/``doc`` and
-implements either :meth:`Rule.check_module` (per-file rules) or
-:meth:`Rule.check_project` (cross-file rules such as lock-order cycles
-or the metric-name registry).  Decorating the class with
-:func:`register` adds one instance to the registry that
-:func:`repro.analysis.engine.run_check` runs by default.
+A rule subclasses :class:`Rule`, sets ``id``/``code``/``severity``/
+``doc`` and implements some of the three phases the shared module walk
+drives:
+
+* :meth:`Rule.prepare` — once per run, before any module; initialise
+  cross-module scratch state in ``ctx.state[self.id]``.
+* :meth:`Rule.check_module` — once per parsed module, in path order;
+  yield per-file findings and/or accumulate into the scratch state.
+  CFG facts come from ``ctx.cfgs(module)`` — built lazily, cached, and
+  shared between every rule that asks.
+* :meth:`Rule.finish` — once per run, after all modules; yield findings
+  that needed the whole project (lock-order cycles, the metric-name
+  registry, exception-status exhaustiveness).
+
+Because rule instances are process-global singletons, per-run state
+must live on the :class:`~repro.analysis.engine.AnalysisContext`, never
+on ``self`` — that is what keeps back-to-back :func:`run_check` calls
+(and the test suite's fixture trees) independent.
+
+Decorating the class with :func:`register` adds one instance to the
+registry that :func:`repro.analysis.engine.run_check` runs by default.
+Rules are addressable by long id (``resource-leak``) or short code
+(``R7``) everywhere a rule id is accepted.
 """
 
 from __future__ import annotations
@@ -15,9 +32,10 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Type
 from .findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .engine import ModuleInfo, Project
+    from .engine import AnalysisContext, ModuleInfo
 
 _REGISTRY: Dict[str, "Rule"] = {}
+_BY_CODE: Dict[str, "Rule"] = {}
 
 
 class Rule:
@@ -28,6 +46,8 @@ class Rule:
     id:
         Stable identifier (``durable-write``...); baseline entries and
         ``--select`` refer to it.
+    code:
+        Short alias (``R1``...``R11``) used by docs and ``--rule``.
     severity:
         Default severity of this rule's findings.
     doc:
@@ -35,14 +55,20 @@ class Rule:
     """
 
     id: str = ""
+    code: str = ""
     severity: Severity = Severity.ERROR
     doc: str = ""
 
-    def check_module(self, module: "ModuleInfo") -> Iterator[Finding]:
+    def prepare(self, ctx: "AnalysisContext") -> None:
+        """Initialise per-run state in ``ctx.state[self.id]``."""
+
+    def check_module(
+        self, module: "ModuleInfo", ctx: "AnalysisContext"
+    ) -> Iterator[Finding]:
         """Findings for one parsed module (default: none)."""
         return iter(())
 
-    def check_project(self, project: "Project") -> Iterator[Finding]:
+    def finish(self, ctx: "AnalysisContext") -> Iterator[Finding]:
         """Findings needing the whole project (default: none)."""
         return iter(())
 
@@ -78,26 +104,42 @@ def register(cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"{cls.__name__} has no rule id")
     if rule.id in _REGISTRY:
         raise ValueError(f"duplicate rule id {rule.id!r}")
+    if rule.code and rule.code.upper() in _BY_CODE:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
     _REGISTRY[rule.id] = rule
+    if rule.code:
+        _BY_CODE[rule.code.upper()] = rule
     return cls
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, ordered by id."""
-    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+    """Every registered rule, ordered by numeric code then id."""
+
+    def sort_key(rule: Rule) -> tuple:
+        if rule.code.startswith("R") and rule.code[1:].isdigit():
+            return (0, int(rule.code[1:]), rule.id)
+        return (1, 0, rule.id)
+
+    return sorted(_REGISTRY.values(), key=sort_key)
 
 
 def get_rule(rule_id: str) -> Rule:
-    try:
-        return _REGISTRY[rule_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
-        ) from None
+    """Look up a rule by long id or short code (``R7`` etc.)."""
+    rule = _REGISTRY.get(rule_id)
+    if rule is None:
+        rule = _BY_CODE.get(rule_id.upper())
+    if rule is None:
+        known = ", ".join(
+            f"{r.code}={r.id}" if r.code else r.id for r in all_rules()
+        )
+        raise KeyError(f"unknown rule {rule_id!r}; known: {known}")
+    return rule
 
 
 def select_rules(ids: Optional[Iterable[str]]) -> List[Rule]:
-    """The rules for an optional ``--select`` list (None = all)."""
+    """The rules for an optional ``--select``/``--rule`` list (None =
+    all); duplicates collapse, registry order is preserved."""
     if ids is None:
         return all_rules()
-    return [get_rule(i) for i in ids]
+    picked = {id(rule): rule for rule in (get_rule(i) for i in ids)}
+    return [rule for rule in all_rules() if id(rule) in picked]

@@ -1,0 +1,214 @@
+"""R9 ``blocking-under-lock``: no slow syscalls inside a critical section.
+
+R3's lock-order graph catches ABBA deadlocks, but a single lock held
+across ``fsync``, a socket send, ``time.sleep`` or a subprocess spawn
+is invisible to it — and under load that is the difference between a
+microsecond critical section and every admission/metrics/quota caller
+convoying behind one disk flush.  The serve layer makes this concrete:
+the admission controller's condition guards *counters*, not I/O, and
+must stay that way.
+
+Per configured module this rule inventories locks exactly like R3
+(``threading.Lock``/``RLock``/``Condition`` factories, module-level or
+``self.<attr>``), then walks each function tracking the lexically held
+set through ``with`` blocks; name-based fallback treats any
+``with self._lock:`` / ``with x.lock:``-shaped item as a lock even
+without a visible factory.  Inside a held region it flags:
+
+* ``os.fsync`` / ``os.fdatasync`` and ``.fsync()`` on anything,
+* ``time.sleep``,
+* ``subprocess.run/call/check_call/check_output/Popen`` and
+  ``os.system``,
+* socket traffic: ``.sendall()`` / ``.recv()`` / ``.connect()`` /
+  ``.accept()`` / ``socket.create_connection``.
+
+``Condition.wait`` is exempt by design — ``wait`` *releases* the lock
+while blocking; that is the one sanctioned way to sleep inside a
+critical section (the admission controller's bounded
+``_cond.wait(remaining)`` loop is the canonical use).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import AnalysisContext, ModuleInfo
+
+_LOCK_FACTORIES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "Lock",
+        "RLock",
+        "Condition",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+#: Attribute names that read as locks even when the factory assignment
+#: is out of lexical sight (fixtures, locks passed in, re-exports).
+_LOCKISH_NAME_RE = re.compile(r"(^|_)(lock|cond|condition|mutex)$", re.I)
+
+_BLOCKING_DOTTED = frozenset(
+    {
+        "os.fsync",
+        "os.fdatasync",
+        "os.system",
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+    }
+)
+
+_BLOCKING_METHODS = frozenset(
+    {"fsync", "fdatasync", "sendall", "recv", "connect", "accept"}
+)
+
+
+class _HeldLockVisitor(ast.NodeVisitor):
+    """Walk one module tracking which locks are lexically held."""
+
+    def __init__(self) -> None:
+        self.module_locks: Dict[str, bool] = {}
+        self.class_lock_attrs: Dict[str, Set[str]] = {}
+        self._class: Optional[str] = None
+        self._held: Tuple[str, ...] = ()
+        #: (lineno, col, blocking call text, lock name) hits
+        self.hits: List[Tuple[int, int, str, str]] = []
+
+    # -- inventory ---------------------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                if dotted_name(stmt.value.func) in _LOCK_FACTORIES:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.module_locks[target.id] = True
+            if isinstance(stmt, ast.ClassDef):
+                attrs: Set[str] = set()
+                for child in ast.walk(stmt):
+                    if (
+                        isinstance(child, ast.Assign)
+                        and isinstance(child.value, ast.Call)
+                        and dotted_name(child.value.func) in _LOCK_FACTORIES
+                    ):
+                        for target in child.targets:
+                            if (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                attrs.add(target.attr)
+                if attrs:
+                    self.class_lock_attrs[stmt.name] = attrs
+        self.generic_visit(node)
+
+    def _lock_name(self, expr: ast.expr) -> Optional[str]:
+        """The display name of the lock a ``with`` item acquires."""
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        last = name.rsplit(".", 1)[-1]
+        if name in self.module_locks:
+            return name
+        if name.startswith("self.") and self._class is not None:
+            if last in self.class_lock_attrs.get(self._class, set()):
+                return f"{self._class}.{last}"
+        if _LOCKISH_NAME_RE.search(last):
+            return name
+        return None
+
+    # -- traversal ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        previous = self._class
+        self._class = node.name
+        self.generic_visit(node)
+        self._class = previous
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        held = self._held
+        self._held = ()  # a new frame does not inherit `with` blocks
+        self.generic_visit(node)
+        self._held = held
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        acquired = tuple(
+            name
+            for item in node.items
+            if (name := self._lock_name(item.context_expr)) is not None
+        )
+        self._held = self._held + acquired
+        self.generic_visit(node)
+        if acquired:
+            self._held = self._held[: len(self._held) - len(acquired)]
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._held:
+            blocking = self._blocking_label(node)
+            if blocking is not None:
+                self.hits.append(
+                    (node.lineno, node.col_offset, blocking, self._held[-1])
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _blocking_label(node: ast.Call) -> Optional[str]:
+        name = dotted_name(node.func)
+        if name in _BLOCKING_DOTTED:
+            return f"{name}()"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BLOCKING_METHODS
+        ):
+            return f".{node.func.attr}()"
+        return None
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    id = "blocking-under-lock"
+    code = "R9"
+    doc = (
+        "fsync/socket send/time.sleep/subprocess while holding a "
+        "Lock/Condition (Condition.wait exempt)"
+    )
+
+    def check_module(
+        self, module: "ModuleInfo", ctx: "AnalysisContext"
+    ) -> Iterator[Finding]:
+        if module.relpath not in ctx.config.blocking_scan_modules:
+            return
+        visitor = _HeldLockVisitor()
+        visitor.visit(module.tree)
+        for lineno, col, blocking, lock in visitor.hits:
+            yield self.finding(
+                module,
+                lineno,
+                col,
+                f"{blocking} while holding {lock}: every other waiter "
+                "convoys behind this blocking call — move the I/O "
+                "outside the critical section (Condition.wait is the "
+                "sanctioned way to block holding a lock)",
+            )

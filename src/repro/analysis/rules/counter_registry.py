@@ -12,16 +12,19 @@ first, which doubles as the documentation index.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, AbstractSet, Iterator
 
 from ..astutil import string_literal
 from ..findings import Finding
 from ..registry import Rule, register
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import AnalysisContext, ModuleInfo
+
 _KINDS = ("counter", "gauge", "histogram")
 
 
-def _close_matches(name: str, candidates) -> str:
+def _close_matches(name: str, candidates: AbstractSet[str]) -> str:
     import difflib
 
     matches = difflib.get_close_matches(name, sorted(candidates), n=1)
@@ -31,43 +34,44 @@ def _close_matches(name: str, candidates) -> str:
 @register
 class CounterRegistryRule(Rule):
     id = "counter-registry"
+    code = "R6"
     doc = "metric names used in src/ must be declared in repro.obs.names"
 
-    def check_project(self, project) -> Iterator[Finding]:
-        counters, gauges, histograms = project.config.metrics()
+    def check_module(
+        self, module: "ModuleInfo", ctx: "AnalysisContext"
+    ) -> Iterator[Finding]:
+        if module.relpath in ctx.config.obs_modules:
+            return
+        counters, gauges, histograms = ctx.config.metrics()
         declared = {
             "counter": counters,
             "gauge": gauges,
             "histogram": histograms,
         }
-        exempt = project.config.obs_modules
-        for module in project.modules:
-            if module.relpath in exempt:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
                 continue
-            for node in ast.walk(module.tree):
-                if not isinstance(node, ast.Call):
-                    continue
-                func = node.func
-                if not (
-                    isinstance(func, ast.Attribute) and func.attr in _KINDS
-                ):
-                    continue
-                if not node.args:
-                    continue
-                name = string_literal(node.args[0])
-                if name is None:
-                    continue  # dynamic name: out of scope for the linter
-                if name not in declared[func.attr]:
-                    hint = _close_matches(
-                        name,
-                        declared[func.attr]
-                        or declared["counter"] | declared["histogram"],
-                    )
-                    yield self.finding(
-                        module,
-                        node.lineno,
-                        node.col_offset,
-                        f"{func.attr} name {name!r} is not declared in "
-                        f"repro.obs.names{hint}; declare it there (typo'd "
-                        "names silently fork a new series)",
-                    )
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in _KINDS
+            ):
+                continue
+            if not node.args:
+                continue
+            name = string_literal(node.args[0])
+            if name is None:
+                continue  # dynamic name: out of scope for the linter
+            if name not in declared[func.attr]:
+                hint = _close_matches(
+                    name,
+                    declared[func.attr]
+                    or declared["counter"] | declared["histogram"],
+                )
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{func.attr} name {name!r} is not declared in "
+                    f"repro.obs.names{hint}; declare it there (typo'd "
+                    "names silently fork a new series)",
+                )

@@ -13,11 +13,14 @@ narrow to ``except Exception``.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..astutil import dotted_name
 from ..findings import Finding
 from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import AnalysisContext, ModuleInfo
 
 
 def _contains_raise(node: ast.AST) -> bool:
@@ -36,9 +39,12 @@ def _handler_reraises(handler: ast.ExceptHandler) -> bool:
 @register
 class CrashTransparencyRule(Rule):
     id = "crash-transparency"
+    code = "R2"
     doc = "bare except / except BaseException that does not re-raise"
 
-    def check_module(self, module) -> Iterator[Finding]:
+    def check_module(
+        self, module: "ModuleInfo", ctx: "AnalysisContext"
+    ) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -57,7 +63,7 @@ class CrashTransparencyRule(Rule):
             )
 
     @staticmethod
-    def _overbroad_label(handler: ast.ExceptHandler):
+    def _overbroad_label(handler: ast.ExceptHandler) -> Optional[str]:
         """'except:' / 'except BaseException' when overbroad, else None."""
         if handler.type is None:
             return "bare 'except:'"

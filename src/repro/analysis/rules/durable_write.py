@@ -12,11 +12,14 @@ streaming output is acceptable (e.g. the LAZ chunk writer).
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..astutil import dotted_name, string_literal
 from ..findings import Finding
 from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import AnalysisContext, ModuleInfo
 
 _WRITE_MODE_CHARS = set("wax+")
 
@@ -28,19 +31,20 @@ def _is_write_mode(mode: str) -> bool:
 @register
 class DurableWriteRule(Rule):
     id = "durable-write"
+    code = "R1"
     doc = (
         "raw open(..., 'wb')/os.replace/json.dump-to-file outside "
         "engine/durable.py"
     )
 
-    def check_project(self, project) -> Iterator[Finding]:
-        allowed = project.config.durable_allowed
-        for module in project.modules:
-            if module.relpath in allowed:
-                continue
-            yield from self._check(module)
+    def check_module(
+        self, module: "ModuleInfo", ctx: "AnalysisContext"
+    ) -> Iterator[Finding]:
+        if module.relpath in ctx.config.durable_allowed:
+            return
+        yield from self._check(module)
 
-    def _check(self, module) -> Iterator[Finding]:
+    def _check(self, module: "ModuleInfo") -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue

@@ -26,11 +26,14 @@ convention of ``with self._lock:`` blocks around plain attribute state.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 from ..astutil import dotted_name
 from ..findings import Finding
 from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import AnalysisContext, ModuleInfo
 
 #: Method calls treated as mutations of ``self.<attr>``.
 _MUTATOR_METHODS = frozenset(
@@ -65,7 +68,15 @@ _LOCK_FACTORIES = frozenset(
 class _Write:
     __slots__ = ("attr", "held", "lineno", "col", "function", "kind")
 
-    def __init__(self, attr, held, lineno, col, function, kind):
+    def __init__(
+        self,
+        attr: str,
+        held: FrozenSet[str],
+        lineno: int,
+        col: int,
+        function: str,
+        kind: str,
+    ) -> None:
         self.attr = attr
         self.held = held  # frozenset of lock ids held at the write
         self.lineno = lineno
@@ -77,7 +88,7 @@ class _Write:
 class _ModuleLockModel(ast.NodeVisitor):
     """Collect locks, guarded writes and acquisition edges for a module."""
 
-    def __init__(self, module_label: str):
+    def __init__(self, module_label: str) -> None:
         self.module_label = module_label
         self.module_locks: Dict[str, str] = {}  # local name -> lock id
         self.class_locks: Dict[str, Dict[str, str]] = {}  # class -> attr -> id
@@ -144,7 +155,9 @@ class _ModuleLockModel(ast.NodeVisitor):
         self.generic_visit(node)
         self._class = previous
 
-    def _visit_function(self, node) -> None:
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
         previous, held = self._function, self._held
         self._function = node.name
         self._held = ()  # a new frame does not inherit `with` blocks
@@ -155,7 +168,7 @@ class _ModuleLockModel(ast.NodeVisitor):
     visit_AsyncFunctionDef = _visit_function
 
     def visit_With(self, node: ast.With) -> None:
-        acquired = []
+        acquired: List[str] = []
         for item in node.items:
             lock_id = self._lock_id_for_with_item(item.context_expr)
             if lock_id is not None:
@@ -240,7 +253,7 @@ def _find_cycles(edges: Dict[Tuple[str, str], Tuple[int, str]]) -> List[List[str
         graph.setdefault(a, set()).add(b)
         graph.setdefault(b, set())
     cycles: List[List[str]] = []
-    seen_sets: Set[frozenset] = set()
+    seen_sets: Set[FrozenSet[str]] = set()
 
     def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
         for succ in sorted(graph.get(node, ())):
@@ -262,30 +275,40 @@ def _find_cycles(edges: Dict[Tuple[str, str], Tuple[int, str]]) -> List[List[str
 @register
 class LockDisciplineRule(Rule):
     id = "lock-discipline"
+    code = "R3"
     doc = (
         "shared attributes written both inside and outside their lock; "
         "inconsistent lock-acquisition order"
     )
 
-    def check_project(self, project) -> Iterator[Finding]:
-        all_edges: Dict[Tuple[str, str], Tuple[int, str]] = {}
-        edge_modules: Dict[Tuple[str, str], object] = {}
-        for module in project.modules:
-            if module.relpath not in project.config.lock_modules:
-                continue
-            label = module.relpath.rsplit("/", 1)[-1].rsplit(".", 1)[0]
-            model = _ModuleLockModel(label)
-            model.visit(module.tree)
-            yield from self._check_guarded_writes(module, model)
-            for edge, site in model.edges.items():
-                if edge not in all_edges:
-                    all_edges[edge] = site
-                    edge_modules[edge] = module
+    def prepare(self, ctx: "AnalysisContext") -> None:
+        # The lock-order graph spans modules; the edges accumulate on
+        # the context during the shared walk and the cycle check runs
+        # once at finish().
+        ctx.state[self.id] = {"edges": {}, "edge_modules": {}}
 
+    def check_module(
+        self, module: "ModuleInfo", ctx: "AnalysisContext"
+    ) -> Iterator[Finding]:
+        if module.relpath not in ctx.config.lock_modules:
+            return
+        state = ctx.state[self.id]
+        label = module.relpath.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        model = _ModuleLockModel(label)
+        model.visit(module.tree)
+        yield from self._check_guarded_writes(module, model)
+        for edge, site in model.edges.items():
+            if edge not in state["edges"]:
+                state["edges"][edge] = site
+                state["edge_modules"][edge] = module
+
+    def finish(self, ctx: "AnalysisContext") -> Iterator[Finding]:
+        state = ctx.state[self.id]
+        all_edges: Dict[Tuple[str, str], Tuple[int, str]] = state["edges"]
         for cycle in _find_cycles(all_edges):
             first_edge = (cycle[0], cycle[1])
             lineno, _ = all_edges.get(first_edge, (1, ""))
-            module = edge_modules.get(first_edge)
+            module = state["edge_modules"].get(first_edge)
             if module is None:
                 continue
             yield self.finding(
@@ -299,7 +322,7 @@ class LockDisciplineRule(Rule):
             )
 
     def _check_guarded_writes(
-        self, module, model: _ModuleLockModel
+        self, module: "ModuleInfo", model: _ModuleLockModel
     ) -> Iterator[Finding]:
         for class_name, writes in model.writes.items():
             class_lock_ids = set(

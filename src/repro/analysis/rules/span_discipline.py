@@ -12,11 +12,14 @@ modules themselves are exempt because they *are* the helpers.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..astutil import dotted_name
 from ..findings import Finding
 from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import AnalysisContext, ModuleInfo
 
 _CLOCK_CALLS = frozenset(
     {
@@ -35,27 +38,29 @@ _CLOCK_CALLS = frozenset(
 @register
 class SpanDisciplineRule(Rule):
     id = "span-discipline"
+    code = "R5"
     doc = (
         "direct time.time/perf_counter calls in hot-path modules "
         "(use repro.obs timing helpers)"
     )
 
-    def check_project(self, project) -> Iterator[Finding]:
-        hot = project.config.hotpath_modules
-        exempt = project.config.obs_modules
-        for module in project.modules:
-            if module.relpath not in hot or module.relpath in exempt:
+    def check_module(
+        self, module: "ModuleInfo", ctx: "AnalysisContext"
+    ) -> Iterator[Finding]:
+        hot = ctx.config.hotpath_modules
+        exempt = ctx.config.obs_modules
+        if module.relpath not in hot or module.relpath in exempt:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
                 continue
-            for node in ast.walk(module.tree):
-                if not isinstance(node, ast.Call):
-                    continue
-                name = dotted_name(node.func)
-                if name in _CLOCK_CALLS:
-                    yield self.finding(
-                        module,
-                        node.lineno,
-                        node.col_offset,
-                        f"hot-path module calls {name}() directly: use "
-                        "repro.obs.timing.now()/Stopwatch (or maybe_span) "
-                        "so timing stays observable and consistent",
-                    )
+            name = dotted_name(node.func)
+            if name in _CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"hot-path module calls {name}() directly: use "
+                    "repro.obs.timing.now()/Stopwatch (or maybe_span) "
+                    "so timing stays observable and consistent",
+                )

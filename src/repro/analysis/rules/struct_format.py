@@ -22,11 +22,14 @@ from __future__ import annotations
 import ast
 import re
 import struct
-from typing import Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
 
 from ..astutil import dotted_name, int_literal, string_literal
 from ..findings import Finding
 from ..registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import AnalysisContext, ModuleInfo
 
 _FIELD_RE = re.compile(r"(\d*)([xcbB?hHiIlLqQnNefdspP])")
 
@@ -56,12 +59,15 @@ def field_count(fmt: str) -> int:
 @register
 class StructFormatRule(Rule):
     id = "struct-format"
+    code = "R4"
     doc = (
         "struct format strings inconsistent with size constants or "
         "pack/unpack call shapes"
     )
 
-    def check_module(self, module) -> Iterator[Finding]:
+    def check_module(
+        self, module: "ModuleInfo", ctx: "AnalysisContext"
+    ) -> Iterator[Finding]:
         if "struct" not in module.source:
             return
         structs: Dict[str, str] = {}  # local name -> format literal
@@ -100,7 +106,9 @@ class StructFormatRule(Rule):
             return None
         return string_literal(node.args[0])
 
-    def _check_call(self, module, node: ast.Call, structs) -> Iterator[Finding]:
+    def _check_call(
+        self, module: "ModuleInfo", node: ast.Call, structs: Dict[str, str]
+    ) -> Iterator[Finding]:
         # Invalid format literal anywhere it is declared or used inline.
         fmt = self._struct_literal(node)
         name = dotted_name(node.func)
@@ -141,7 +149,11 @@ class StructFormatRule(Rule):
                 )
 
     def _check_compare(
-        self, module, node: ast.Compare, structs, constants
+        self,
+        module: "ModuleInfo",
+        node: ast.Compare,
+        structs: Dict[str, str],
+        constants: Dict[str, int],
     ) -> Iterator[Finding]:
         """Statically evaluate ``NAME.size == CONST`` comparisons."""
         if len(node.ops) != 1 or not isinstance(node.ops[0], ast.Eq):
@@ -176,7 +188,7 @@ class StructFormatRule(Rule):
             )
 
     def _check_unpack_assign(
-        self, module, node: ast.Assign, structs
+        self, module: "ModuleInfo", node: ast.Assign, structs: Dict[str, str]
     ) -> Iterator[Finding]:
         """``a, b, c = NAME.unpack(...)`` arity check."""
         if len(node.targets) != 1 or not isinstance(node.value, ast.Call):

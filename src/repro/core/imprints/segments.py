@@ -444,6 +444,7 @@ class SegmentedImprints:
         """Candidate oids (superset of the exact result), sorted."""
         pieces: List[NDArray[Any]] = []
         for seg in self.segments:
+            _queries.check_deadline()
             verdict = self._classify(seg, lo, hi, True, True)
             if verdict == _SKIP:
                 continue
@@ -472,6 +473,7 @@ class SegmentedImprints:
             return 0.0
         touched = 0
         for seg in self.segments:
+            _queries.check_deadline()
             if self._classify(seg, lo, hi, True, True) == _PROBE:
                 touched += int(self._candidate_lines(seg, lo, hi).shape[0])
         return float(touched / total)

@@ -123,6 +123,7 @@ class CompressedColumn:
         values = np.asarray(values)
         blocks: List[CompressedBlock] = []
         for start in range(0, values.shape[0], segment_rows):
+            _queries.check_deadline()
             blocks.append(encode_adaptive(values[start : start + segment_rows], scheme))
         return cls(
             name=name,
@@ -175,6 +176,7 @@ class CompressedColumn:
         seg_of = np.searchsorted(starts, oids, side="right") - 1
         pieces: List[NDArray[Any]] = []
         for seg in np.unique(seg_of):
+            _queries.check_deadline()
             in_seg = oids[seg_of == seg] - starts[seg]
             pieces.append(kernels.take(self.blocks[int(seg)], in_seg))
         return np.concatenate(pieces)

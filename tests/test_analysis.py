@@ -19,7 +19,7 @@ from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.engine import Config, Project
 from repro.analysis.main import main as check_main
 from repro.analysis.registry import all_rules
-from repro.analysis.report import to_json, to_text
+from repro.analysis.report import to_json, to_sarif, to_text
 from repro.analysis.rules.struct_format import field_count
 
 SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
@@ -512,6 +512,504 @@ class TestCounterRegistry:
         assert len(report.findings) == 1
 
 
+# -- R7 resource-leak ----------------------------------------------------------
+
+# The leaked-slot shape: acquire, fallible work, release — an exception
+# in the middle escapes without ever releasing.
+LEAKED_SLOT = """
+def handle(slot, work):
+    slot.acquire()
+    work()
+    slot.release()
+"""
+
+
+class TestResourceLeak:
+    def test_exception_window_flagged(self, tmp_path):
+        report = check(tmp_path, {"repro/x.py": LEAKED_SLOT})
+        assert rule_ids(report) == ["resource-leak"]
+        assert "try/finally" in report.findings[0].message
+
+    def test_early_return_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def handle(slot, bad):
+                    slot.acquire()
+                    if bad:
+                        return None
+                    slot.release()
+                    return True
+                """
+            },
+            rule_ids=["resource-leak"],
+        )
+        assert len(report.findings) == 1
+
+    def test_try_finally_shape_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def handle(slot, work):
+                    slot.acquire()
+                    try:
+                        work()
+                    finally:
+                        slot.release()
+                """
+            },
+            rule_ids=["resource-leak"],
+        )
+        assert report.findings == []
+
+    def test_pin_unpin_pair_tracked(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def read(snapshot, work):
+                    snapshot.pin()
+                    work()
+                    snapshot.unpin()
+                """
+            },
+            rule_ids=["resource-leak"],
+        )
+        assert len(report.findings) == 1
+        assert "pin" in report.findings[0].message
+
+    def test_cross_function_protocol_skipped(self, tmp_path):
+        # acquire with no same-function release: a handoff protocol the
+        # intraprocedural analysis cannot judge.
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def start(slot):
+                    slot.acquire()
+                    return slot
+                """
+            },
+            rule_ids=["resource-leak"],
+        )
+        assert report.findings == []
+
+    def test_raw_handle_leak_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def load(path):
+                    fh = open(path)
+                    data = fh.read()
+                    fh.close()
+                    return data
+                """
+            },
+            rule_ids=["resource-leak"],
+        )
+        assert len(report.findings) == 1
+
+    def test_with_open_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def load(path):
+                    with open(path) as fh:
+                        return fh.read()
+                """
+            },
+            rule_ids=["resource-leak"],
+        )
+        assert report.findings == []
+
+    def test_escaping_handle_skipped(self, tmp_path):
+        # Returning the handle transfers ownership to the caller.
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": """
+                def open_log(path):
+                    fh = open(path)
+                    fh.close()
+                    return fh
+                """
+            },
+            rule_ids=["resource-leak"],
+        )
+        assert report.findings == []
+
+
+# -- R8 exception-status -------------------------------------------------------
+
+# An exception type the service layer defines and raises but never maps
+# to an HTTP status: clients would get the generic 500 fallback.
+UNMAPPED_EXCEPTION = """
+class LedgerCorrupt(RuntimeError):
+    pass
+
+
+def charge(ledger):
+    if ledger.bad:
+        raise LedgerCorrupt("ledger does not balance")
+"""
+
+
+class TestExceptionStatus:
+    def test_unmapped_serve_exception_flagged(self, tmp_path):
+        report = check(tmp_path, {"repro/serve/quotas.py": UNMAPPED_EXCEPTION})
+        assert rule_ids(report) == ["exception-status"]
+        assert "LedgerCorrupt" in report.findings[0].message
+
+    def test_mapped_exception_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/serve/quotas.py": UNMAPPED_EXCEPTION,
+                "repro/serve/http.py": """
+                from .quotas import LedgerCorrupt, charge
+
+                def handle(ledger):
+                    try:
+                        charge(ledger)
+                    except LedgerCorrupt:
+                        return 409
+                    return 200
+                """,
+            },
+            rule_ids=["exception-status"],
+        )
+        assert report.findings == []
+
+    def test_generic_catch_does_not_count(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/serve/quotas.py": UNMAPPED_EXCEPTION,
+                "repro/serve/http.py": """
+                from .quotas import charge
+
+                def handle(ledger):
+                    try:
+                        charge(ledger)
+                    except Exception:
+                        raise
+                """,
+            },
+            rule_ids=["exception-status"],
+        )
+        assert len(report.findings) == 1
+
+    def test_defined_but_never_raised_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/serve/quotas.py": """
+                class FutureError(RuntimeError):
+                    pass
+                """
+            },
+            rule_ids=["exception-status"],
+        )
+        assert report.findings == []
+
+    def test_extra_status_exceptions_covered(self, tmp_path):
+        # The cancellation path: QueryCancelled lives in obs but the
+        # serve layer must still map it (to 408).
+        report = check(
+            tmp_path,
+            {
+                "repro/obs/queries.py": """
+                class QueryCancelled(RuntimeError):
+                    pass
+                """,
+                "repro/serve/http.py": "def handle():\n    return 200\n",
+            },
+            rule_ids=["exception-status"],
+        )
+        assert len(report.findings) == 1
+        assert "QueryCancelled" in report.findings[0].message
+
+
+# -- R9 blocking-under-lock ----------------------------------------------------
+
+FSYNC_UNDER_LOCK = """
+import os
+import threading
+
+
+class Gate:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def persist(self, fd):
+        with self._lock:
+            os.fsync(fd)
+"""
+
+
+class TestBlockingUnderLock:
+    def test_fsync_under_lock_flagged(self, tmp_path):
+        report = check(tmp_path, {"repro/serve/admission.py": FSYNC_UNDER_LOCK})
+        assert rule_ids(report) == ["blocking-under-lock"]
+        assert "os.fsync" in report.findings[0].message
+
+    def test_sleep_under_module_lock_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/serve/admission.py": """
+                import threading
+                import time
+
+                _lock = threading.Lock()
+
+
+                def backoff():
+                    with _lock:
+                        time.sleep(0.1)
+                """
+            },
+            rule_ids=["blocking-under-lock"],
+        )
+        assert len(report.findings) == 1
+
+    def test_condition_wait_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/serve/admission.py": """
+                import threading
+
+
+                class Queue:
+                    def __init__(self):
+                        self._cond = threading.Condition()
+
+                    def get(self):
+                        with self._cond:
+                            self._cond.wait()
+                """
+            },
+            rule_ids=["blocking-under-lock"],
+        )
+        assert report.findings == []
+
+    def test_blocking_outside_lock_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/serve/admission.py": """
+                import os
+                import threading
+
+
+                class Gate:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def persist(self, fd):
+                        with self._lock:
+                            pending = True
+                        if pending:
+                            os.fsync(fd)
+                """
+            },
+            rule_ids=["blocking-under-lock"],
+        )
+        assert report.findings == []
+
+    def test_non_designated_module_ignored(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/gis/whatever.py": FSYNC_UNDER_LOCK},
+            rule_ids=["blocking-under-lock"],
+        )
+        assert report.findings == []
+
+
+# -- R10 thread-boundary -------------------------------------------------------
+
+RAW_THREAD_SPAWN = """
+import threading
+
+
+def spawn(fn):
+    worker = threading.Thread(target=fn)
+    worker.start()
+    return worker
+"""
+
+
+class TestThreadBoundary:
+    def test_raw_spawn_flagged(self, tmp_path):
+        report = check(tmp_path, {"repro/engine/select.py": RAW_THREAD_SPAWN})
+        assert rule_ids(report) == ["thread-boundary"]
+
+    def test_copy_context_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/engine/select.py": """
+                import contextvars
+                import threading
+
+
+                def spawn(fn):
+                    ctx = contextvars.copy_context()
+                    worker = threading.Thread(target=lambda: ctx.run(fn))
+                    worker.start()
+                    return worker
+                """
+            },
+            rule_ids=["thread-boundary"],
+        )
+        assert report.findings == []
+
+    def test_run_tasks_in_scope_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/engine/select.py": """
+                import threading
+
+                from .parallel import run_tasks
+
+
+                def drive(fn, watchdog):
+                    thread = threading.Thread(target=watchdog)
+                    thread.start()
+                    return run_tasks(fn, [1, 2, 3])
+                """
+            },
+            rule_ids=["thread-boundary"],
+        )
+        assert report.findings == []
+
+    def test_non_designated_module_ignored(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/gis/whatever.py": RAW_THREAD_SPAWN},
+            rule_ids=["thread-boundary"],
+        )
+        assert report.findings == []
+
+
+# -- R11 cancellation-coverage -------------------------------------------------
+
+CHECKLESS_SCAN_LOOP = """
+def scan(segments):
+    out = []
+    for seg in segments:
+        out.append(decode_block(seg))
+    return out
+"""
+
+
+class TestCancellationCoverage:
+    def test_checkless_scan_loop_flagged(self, tmp_path):
+        report = check(
+            tmp_path, {"repro/engine/select.py": CHECKLESS_SCAN_LOOP}
+        )
+        assert rule_ids(report) == ["cancellation-coverage"]
+        assert "check_deadline" in report.findings[0].message
+
+    def test_deadline_check_in_body_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/engine/select.py": """
+                def scan(segments):
+                    out = []
+                    for seg in segments:
+                        check_deadline()
+                        out.append(decode_block(seg))
+                    return out
+                """
+            },
+            rule_ids=["cancellation-coverage"],
+        )
+        assert report.findings == []
+
+    def test_run_tasks_fanout_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/engine/select.py": """
+                def scan(segments):
+                    probes = [seg for seg in segments]
+                    return run_tasks(decode_block, probes)
+                """
+            },
+            rule_ids=["cancellation-coverage"],
+        )
+        assert report.findings == []
+
+    def test_transitive_check_through_helper_passes(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/engine/select.py": """
+                def decode_segment(seg):
+                    check_deadline()
+                    return unpack(seg)
+
+
+                def scan(segments):
+                    out = []
+                    for seg in segments:
+                        out.append(decode_segment(seg))
+                    return out
+                """
+            },
+            rule_ids=["cancellation-coverage"],
+        )
+        assert report.findings == []
+
+    def test_assembly_loop_ignored(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/engine/select.py": """
+                def collect(parts):
+                    out = []
+                    for part in parts:
+                        out.append(normalise(part))
+                    return out
+                """
+            },
+            rule_ids=["cancellation-coverage"],
+        )
+        assert report.findings == []
+
+    def test_init_exempt(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/engine/select.py": """
+                class Column:
+                    def __init__(self, segments):
+                        self.blocks = []
+                        for seg in segments:
+                            self.blocks.append(decode_block(seg))
+                """
+            },
+            rule_ids=["cancellation-coverage"],
+        )
+        assert report.findings == []
+
+    def test_non_designated_module_ignored(self, tmp_path):
+        report = check(
+            tmp_path,
+            {"repro/gis/whatever.py": CHECKLESS_SCAN_LOOP},
+            rule_ids=["cancellation-coverage"],
+        )
+        assert report.findings == []
+
+
 # -- baseline ------------------------------------------------------------------
 
 
@@ -585,6 +1083,22 @@ class TestReporters:
         assert doc["findings"][0]["rule"] == "durable-write"
         assert doc["findings"][0]["path"] == "repro/x.py"
 
+    def test_sarif_marks_baselined_findings_suppressed(self, tmp_path):
+        root = make_tree(
+            tmp_path, {"repro/x.py": 'fh = open("out.col", "wb")\n'}
+        )
+        first = run_check(
+            root, baseline=Baseline(), rule_ids=["durable-write"]
+        )
+        baseline = Baseline.from_findings(first.findings)
+        report = run_check(root, baseline=baseline, rule_ids=["durable-write"])
+        assert report.findings == [] and report.suppressed
+
+        doc = json.loads(to_sarif(report))
+        results = doc["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["suppressions"] == [{"kind": "external"}]
+
 
 # -- CLI entry points ----------------------------------------------------------
 
@@ -612,6 +1126,11 @@ class TestCli:
                 'from repro.obs.metrics import get_registry\n'
                 'get_registry().counter("durability.retires")\n',
             ),  # R6
+            ("repro/x.py", LEAKED_SLOT),  # R7
+            ("repro/serve/quotas.py", UNMAPPED_EXCEPTION),  # R8
+            ("repro/serve/admission.py", FSYNC_UNDER_LOCK),  # R9
+            ("repro/engine/select.py", RAW_THREAD_SPAWN),  # R10
+            ("repro/engine/select.py", CHECKLESS_SCAN_LOOP),  # R11
         ],
         ids=[
             "durable-write",
@@ -620,6 +1139,11 @@ class TestCli:
             "struct-format",
             "span-discipline",
             "counter-registry",
+            "resource-leak",
+            "exception-status",
+            "blocking-under-lock",
+            "thread-boundary",
+            "cancellation-coverage",
         ],
     )
     def test_seeded_violation_exits_nonzero(self, tmp_path, relpath, source, capsys):
@@ -667,6 +1191,64 @@ class TestCli:
         out = capsys.readouterr().out
         for rule in all_rules():
             assert rule.id in out
+            assert rule.code in out
+
+    def test_rule_code_filter(self, tmp_path, capsys):
+        root = self.seed(tmp_path, {"repro/x.py": 'open("a", "wb")\n'})
+        assert check_main([root, "--rule", "R4"]) == 0
+        assert check_main([root, "--rule", "R1"]) == 1
+
+    def test_path_filter(self, tmp_path, capsys):
+        root = self.seed(
+            tmp_path,
+            {
+                "repro/clean.py": "value = 1\n",
+                "repro/dirty.py": 'open("a", "wb")\n',
+            },
+        )
+        clean = str(Path(root) / "clean.py")
+        dirty = str(Path(root) / "dirty.py")
+        assert check_main([root, "--path", clean]) == 0
+        assert check_main([root, "--path", dirty]) == 1
+        assert check_main([root, "--path", clean, "--path", dirty]) == 1
+
+    def test_path_filter_accepts_directories(self, tmp_path, capsys):
+        root = self.seed(
+            tmp_path,
+            {
+                "repro/serve/ok.py": "value = 1\n",
+                "repro/dirty.py": 'open("a", "wb")\n',
+            },
+        )
+        serve_dir = str(Path(root) / "serve")
+        assert check_main([root, "--path", serve_dir]) == 0
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        root = self.seed(tmp_path, {"repro/x.py": "value = 1\n"})
+        assert check_main([root, "--path", "no/such/file.py"]) == 2
+
+    def test_sarif_format(self, tmp_path, capsys):
+        root = self.seed(tmp_path, {"repro/x.py": 'open("a", "wb")\n'})
+        assert check_main([root, "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == {
+            rule.id for rule in all_rules()
+        }
+        result = run["results"][0]
+        assert result["ruleId"] == "durable-write"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "repro/x.py"
+        assert location["region"]["startLine"] >= 1
+
+    def test_informational_demotes_and_passes(self, tmp_path, capsys):
+        root = self.seed(tmp_path, {"repro/x.py": 'open("a", "wb")\n'})
+        assert check_main([root, "--informational"]) == 0
+        out = capsys.readouterr().out
+        assert "note[durable-write]" in out
+        assert "error[" not in out
 
 
 # -- the meta-test: the repo itself is clean -----------------------------------
@@ -708,7 +1290,19 @@ class TestSelfCheck:
             "struct-format",
             "span-discipline",
             "counter-registry",
+            "resource-leak",
+            "exception-status",
+            "blocking-under-lock",
+            "thread-boundary",
+            "cancellation-coverage",
         }
+
+    def test_rule_codes_are_r1_through_r11(self):
+        codes = sorted(
+            (rule.code for rule in all_rules()),
+            key=lambda c: int(c[1:]),
+        )
+        assert codes == [f"R{i}" for i in range(1, 12)]
 
 
 # -- config plumbing -----------------------------------------------------------

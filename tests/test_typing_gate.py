@@ -15,7 +15,13 @@ import pytest
 pytest.importorskip("mypy", reason="strict-typing gate needs the mypy dev extra")
 
 REPO = Path(__file__).resolve().parent.parent
-PACKAGES = ["src/repro/engine", "src/repro/core/imprints", "src/repro/obs"]
+PACKAGES = [
+    "src/repro/engine",
+    "src/repro/core/imprints",
+    "src/repro/obs",
+    "src/repro/serve",
+    "src/repro/analysis",
+]
 
 
 def test_strict_typing_gate() -> None:
