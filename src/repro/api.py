@@ -41,6 +41,20 @@ from .sql.executor import Result, Session
 PathLike = Union[str, Path]
 
 
+def _query_hot_stacks(query_id: str) -> Optional[Dict[str, object]]:
+    """The always-on profiler's hot stacks for one query, if sampled.
+
+    ``maybe_profiler`` never creates — databases without serve-mode
+    profiling pay one module-global read per slow-logged query.
+    """
+    from .obs.profiler import maybe_profiler
+
+    profiler = maybe_profiler()
+    if profiler is None:
+        return None
+    return profiler.query_summary(query_id)
+
+
 class PointCloudDB:
     """A column-store point-cloud database with GIS functionality.
 
@@ -175,6 +189,9 @@ class PointCloudDB:
                     encoded_bytes=usage.encoded_bytes,
                     materialized_bytes=usage.materialized_bytes,
                 )
+                hot = _query_hot_stacks(result.stats.query_id)
+                if hot is not None:
+                    observation.set(hot_stacks=hot)
         return result
 
     def select_for(self, name: str) -> SpatialSelect:
@@ -246,6 +263,9 @@ class PointCloudDB:
                         usage.materialized_bytes if usage is not None else 0
                     ),
                 )
+                hot = _query_hot_stacks(session.last_query_id)
+                if hot is not None:
+                    observation.set(hot_stacks=hot)
         return result
 
     def explain(self, query: str) -> str:

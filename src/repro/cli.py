@@ -16,6 +16,8 @@ library gets a CLI instead::
     repro-gis serve farm/ --port 8472                       # query daemon
     repro-gis serve-metrics farm/ --port 9464               # OpenMetrics endpoint
     repro-gis slowlog farm/slow-query.jsonl                 # slow-query records
+    repro-gis profile farm/ --sql 'SELECT ...'              # CPU flame profile
+    repro-gis heat farm/ [--hints]                          # workload heat map
     repro-gis check [--format json]                         # invariant linter
 
 Every subcommand is a thin shell over the library; the functions return
@@ -305,6 +307,129 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Sample a query under the profiler; export collapsed/speedscope."""
+    import json
+
+    from .obs.profiler import SamplingProfiler
+
+    if not args.sql and not args.wkt:
+        print("profile: need --sql or --wkt", file=sys.stderr)
+        return 1
+
+    db = _open_db(args.db, threads=args.threads)
+    geometry = None
+    if args.wkt:
+        from .gis.wkt import loads
+
+        geometry = loads(args.wkt)
+
+    def run_once() -> int:
+        if args.sql:
+            return len(db.sql(args.sql).rows)
+        result = db.spatial_select(
+            args.table, geometry, predicate=args.predicate, distance=args.distance
+        )
+        return len(result)
+
+    profiler = SamplingProfiler(rate_hz=args.rate)
+    profiler.start()
+    runs = 0
+    rows = 0
+    t0 = time.perf_counter()
+    try:
+        # Repeat until the sampling window is filled: a single small
+        # query finishes in microseconds and would yield zero samples.
+        while True:
+            rows = run_once()
+            runs += 1
+            if time.perf_counter() - t0 >= args.duration:
+                break
+    finally:
+        profiler.stop()
+    elapsed = time.perf_counter() - t0
+    profile = profiler.profile()
+    print(
+        f"profiled {runs} run(s) in {elapsed:.2f}s at {args.rate:g} Hz: "
+        f"{profile.aggregate.samples} samples, last run {rows} rows",
+        file=sys.stderr,
+    )
+    for frame, count in profile.hot_frames(args.top):
+        share = count / max(1, profile.aggregate.samples)
+        print(f"  {share:6.1%}  {count:>6}  {frame}", file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(profile.speedscope(name=f"repro-gis profile {args.db}"))
+            + "\n"
+        )
+        print(f"wrote speedscope JSON to {args.out}", file=sys.stderr)
+    if args.collapsed:
+        Path(args.collapsed).write_text(profile.collapsed())
+        print(f"wrote collapsed stacks to {args.collapsed}", file=sys.stderr)
+    if not args.out and not args.collapsed:
+        print(profile.collapsed(), end="")
+    return 0
+
+
+def _cmd_heat(args: argparse.Namespace) -> int:
+    """Render hot-segment/hot-extent reports from a heat journal."""
+    import json
+
+    from .obs.heat import HEAT_JOURNAL_NAME, HeatMap, read_journal
+
+    path = Path(args.journal)
+    if path.is_dir():
+        path = path / HEAT_JOURNAL_NAME
+    if not path.exists():
+        print(f"heat: no journal at {path}", file=sys.stderr)
+        return 1
+    records = read_journal(path)
+    if not records:
+        print(f"heat: {path} holds no intact windows", file=sys.stderr)
+        return 1
+    heat = HeatMap.from_journal(path)
+    if args.hints:
+        print(json.dumps(heat.hints(top=args.top), indent=2))
+        return 0
+    snapshot = heat.snapshot(top=args.top)
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    print(
+        f"heat journal {path}: {len(records)} window(s), "
+        f"halflife {snapshot['halflife_s']:g}s, "
+        f"tables: {', '.join(snapshot['tables']) or '(none)'}"
+    )
+    segments = snapshot["segments"]
+    print(f"hot segments (top {len(segments)} of {snapshot['totals']['segments']}):")
+    if segments:
+        print(
+            f"  {'table':<12} {'column':<16} {'seg':>5} {'probes':>8} "
+            f"{'skips':>8} {'fulls':>8} {'bytes':>12}"
+        )
+        for row in segments:
+            seg = "all" if row["segment"] == -1 else str(row["segment"])
+            print(
+                f"  {row['table']:<12} {row['column']:<16} {seg:>5} "
+                f"{row['probes']:>8.1f} {row['skips']:>8.1f} "
+                f"{row['fulls']:>8.1f} {row['bytes']:>12,.0f}"
+            )
+    extents = snapshot["extents"]
+    print(f"hot extents (top {len(extents)} of {snapshot['totals']['extents']}):")
+    for row in extents:
+        extent = row.get("extent")
+        where = (
+            f"({extent[0]:.1f}, {extent[1]:.1f})–({extent[2]:.1f}, {extent[3]:.1f})"
+            if extent
+            else f"cell {tuple(row['cell'])}"
+        )
+        print(
+            f"  {row['table']:<12} {where:<44} "
+            f"{row['queries']:>8.1f} queries {row['bytes']:>12,.0f} bytes"
+        )
+    return 0
+
+
 def _cmd_sort(args: argparse.Namespace) -> int:
     from .lastools.lassort import lassort
 
@@ -482,6 +607,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_budget=default_budget,
     )
     obs = default_context()
+    # Serve mode runs the continuous-observability layer by default: the
+    # low-rate sampling profiler (hot stacks for /debug/profile bursts,
+    # slowlog records, flight dumps) and the workload heat map journalled
+    # next to the store for `repro-gis heat` / the sharding planner.
+    profiler = None
+    if not args.no_profile:
+        from .obs.profiler import get_profiler
+
+        profiler = get_profiler(rate_hz=args.profile_rate)
+        profiler.start()
+    if not args.no_heat:
+        from .obs.heat import enable_heat
+
+        enable_heat(
+            journal=Path(args.db) / "heat.jsonl",
+            halflife_s=args.heat_halflife,
+            flush_interval_s=args.heat_flush,
+        )
     snapshots = SnapshotManager(
         directory=args.db, threads=args.threads, obs=obs
     )
@@ -509,20 +652,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving queries on {daemon.url} "
         f"(POST /v1/query, POST /v1/sql; GET /metrics, /healthz, "
-        f"/debug/queries, /debug/serve) — generation "
-        f"{snapshot.generation}, {config.max_concurrency} slots + "
+        f"/debug/queries, /debug/serve, /debug/profile, /debug/heat) — "
+        f"generation {snapshot.generation}, {config.max_concurrency} slots + "
         f"{config.queue_depth} queued",
         flush=True,
     )
     try:
         if args.for_seconds is not None:
-            time.sleep(args.for_seconds)
+            # Stepped so the bounded-run path gets the same heat-flush
+            # heartbeat as daemon.wait()'s poll loop.
+            deadline = time.monotonic() + args.for_seconds
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                time.sleep(min(1.0, remaining))
+                daemon.flush_heat()
         else:
             daemon.wait()  # pragma: no cover - interactive serve loop
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         pass
     finally:
         daemon.drain_and_stop()
+        if profiler is not None:
+            profiler.stop()
+        if not args.no_heat:
+            from .obs.heat import disable_heat
+
+            disable_heat()
     return 0
 
 
@@ -776,6 +933,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_trace)
 
+    p = sub.add_parser(
+        "profile",
+        help="sample a query under the CPU profiler and export "
+        "collapsed-stack text / speedscope JSON",
+    )
+    p.add_argument("db")
+    p.add_argument("--sql", help="SQL query to profile")
+    p.add_argument("--wkt", help="WKT geometry for a spatial selection")
+    p.add_argument("--table", default="points")
+    p.add_argument(
+        "--predicate", default="contains", choices=["contains", "dwithin"]
+    )
+    p.add_argument("--distance", type=float, default=0.0)
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="repeat the query for at least S seconds of sampling "
+        "(default 1.0)",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=250.0,
+        metavar="HZ",
+        help="sampling rate (default 250)",
+    )
+    p.add_argument("--out", help="write speedscope JSON here")
+    p.add_argument(
+        "--collapsed",
+        help="write FlameGraph collapsed-stack text here "
+        "(default: stdout when --out is absent)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="hot frames printed to stderr (default 10)",
+    )
+    p.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="worker threads (default: all cores; 1 = serial)",
+    )
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "heat",
+        help="workload heat report from a heat.jsonl journal "
+        "(hot segments, hot extents, partitioning hints)",
+    )
+    p.add_argument(
+        "journal",
+        help="heat journal file, or a database directory holding heat.jsonl",
+    )
+    p.add_argument(
+        "--hints",
+        action="store_true",
+        help="emit ranked hot-extent partitioning hints as JSON",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="raw JSON snapshot instead of text"
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows per section (default 10)",
+    )
+    p.set_defaults(fn=_cmd_heat)
+
     p = sub.add_parser("sort", help="lassort: rewrite a LAS file in SFC order")
     p.add_argument("input")
     p.add_argument("output")
@@ -938,6 +1170,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker threads for query execution",
+    )
+    p.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="disable the always-on low-rate sampling profiler",
+    )
+    p.add_argument(
+        "--profile-rate",
+        type=float,
+        default=19.0,
+        metavar="HZ",
+        help="always-on sampling rate (default 19)",
+    )
+    p.add_argument(
+        "--no-heat",
+        action="store_true",
+        help="disable workload heat accounting and the heat.jsonl journal",
+    )
+    p.add_argument(
+        "--heat-halflife",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="heat decay half-life in seconds (default 600)",
+    )
+    p.add_argument(
+        "--heat-flush",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="heat journal flush interval in seconds (default 30)",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -32,6 +32,7 @@ from numpy.typing import NDArray
 from ...engine.column import Column
 from ...engine.kernels import ZONE_FULL, ZONE_PROBE, ZONE_SKIP, zone_verdict
 from ...engine.parallel import run_tasks
+from ...obs import heat as _heat
 from ...obs import queries as _queries
 from ...obs import resources
 from . import bitvec, dictionary
@@ -411,6 +412,23 @@ class SegmentedImprints:
             )
             tracker.add_scan_bytes(
                 materialized=int(probe_rows * values.itemsize)
+            )
+        heat = _heat.maybe_heat()
+        if heat is not None:
+            # Imprint probes read decoded values, so the probed bytes are
+            # all materialized; one batched update per scan.
+            itemsize = int(values.itemsize)
+            heat.record_scan(
+                self.column.name,
+                probed=[
+                    (i, 0, (seg.stop - seg.start) * itemsize)
+                    for i, (seg, v) in enumerate(
+                        zip(self.segments, verdicts)
+                    )
+                    if v == _PROBE
+                ],
+                skipped=[i for i, v in enumerate(verdicts) if v == _SKIP],
+                full=[i for i, v in enumerate(verdicts) if v == _FULL],
             )
         hook = probe_hook
 

@@ -27,6 +27,7 @@ from ..engine.select import intersect_candidates, mask_select, range_select
 from ..engine.table import Table
 from ..gis.envelope import Box
 from ..gis.predicates import geometry_envelope, points_satisfy
+from ..obs import heat as _heat
 from ..obs.metrics import get_registry
 from ..obs.queries import current_query, get_queries
 from ..obs.resources import ResourceTracker, ResourceUsage
@@ -254,7 +255,38 @@ class SpatialSelect:
         get_registry().histogram("query.cpu_seconds").observe(
             tracker.usage.cpu_seconds
         )
+        self._record_heat(geometry, predicate, distance, tracker.usage)
         return result
+
+    def _record_heat(
+        self,
+        geometry,
+        predicate: str,
+        distance: float,
+        usage: ResourceUsage,
+    ) -> None:
+        """Fold this query's bbox footprint into the workload heat map.
+
+        Outside the tracker/track windows so the bookkeeping never counts
+        against the query's own resource or latency accounting.
+        """
+        heat = _heat.maybe_heat()
+        if heat is None:
+            return
+        env = geometry_envelope(geometry)
+        if predicate == "dwithin":
+            env = env.expand(distance)
+        x_lo, x_hi = self.table.column(self.x_column).minmax()
+        y_lo, y_hi = self.table.column(self.y_column).minmax()
+        nbytes = int(usage.encoded_bytes + usage.materialized_bytes)
+        if nbytes == 0:
+            nbytes = int(usage.bytes_touched)
+        heat.record_footprint(
+            table=self.table.name,
+            bbox=(env.xmin, env.ymin, env.xmax, env.ymax),
+            domain=(float(x_lo), float(y_lo), float(x_hi), float(y_hi)),
+            nbytes=nbytes,
+        )
 
     def _query_traced(
         self,

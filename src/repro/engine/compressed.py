@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from numpy.typing import NDArray
 
+from ..obs import heat as _heat
 from ..obs import queries as _queries
 from ..obs.metrics import get_registry
 from . import kernels, parallel
@@ -193,6 +194,7 @@ class CompressedColumn:
         negate: bool,
         threads: Optional[int],
         stats: ScanStats,
+        heat_probed: Optional[List[Tuple[int, int, int]]] = None,
     ) -> Dict[int, NDArray[np.int64]]:
         """Run the packed range kernel over the PROBE segments, fanned
         out per segment; returns ``{segment: global oids}``."""
@@ -232,7 +234,29 @@ class CompressedColumn:
                 stats.encoded_bytes += nbytes
             else:
                 stats.materialized_bytes += nbytes
+            if heat_probed is not None:
+                heat_probed.append(
+                    (i, nbytes if packed else 0, 0 if packed else nbytes)
+                )
         return hits
+
+    def _record_heat(
+        self,
+        heat: "_heat.HeatMap",
+        verdicts: List[int],
+        heat_probed: List[Tuple[int, int, int]],
+    ) -> None:
+        """One batched heat update per scan (never per segment)."""
+        heat.record_scan(
+            self.name,
+            probed=heat_probed,
+            skipped=[
+                i for i, v in enumerate(verdicts) if v == kernels.ZONE_SKIP
+            ],
+            full=[
+                i for i, v in enumerate(verdicts) if v == kernels.ZONE_FULL
+            ],
+        )
 
     def _gather(
         self,
@@ -264,6 +288,8 @@ class CompressedColumn:
         """Row ids where ``lo <(=) value <(=) hi`` — zone-map pruning,
         then packed probes, no decoding of non-survivors."""
         stats = stats if stats is not None else ScanStats()
+        heat = _heat.maybe_heat()
+        heat_probed: List[Tuple[int, int, int]] = []
         verdicts: List[int] = []
         probes: List[int] = []
         for i, block in enumerate(self.blocks):
@@ -278,10 +304,20 @@ class CompressedColumn:
             else:
                 stats.segments_skipped += 1
         hits = self._probe_segments(
-            probes, lo, hi, lo_inclusive, hi_inclusive, False, threads, stats
+            probes,
+            lo,
+            hi,
+            lo_inclusive,
+            hi_inclusive,
+            False,
+            threads,
+            stats,
+            heat_probed if heat is not None else None,
         )
         out = self._gather(verdicts, hits)
         stats.rows_out += out.shape[0]
+        if heat is not None:
+            self._record_heat(heat, verdicts, heat_probed)
         if stats.packed_probes:
             get_registry().counter("compression.packed_predicate_hits").inc(
                 stats.packed_probes
@@ -316,6 +352,8 @@ class CompressedColumn:
             lo, hi = constant, None
         else:
             raise CompressionError(f"unsupported theta operator {op!r}")
+        heat = _heat.maybe_heat()
+        heat_probed: List[Tuple[int, int, int]] = []
         verdicts: List[int] = []
         probes: List[int] = []
         for i, block in enumerate(self.blocks):
@@ -335,10 +373,20 @@ class CompressedColumn:
             else:
                 stats.segments_skipped += 1
         hits = self._probe_segments(
-            probes, lo, hi, lo_inc, hi_inc, negate, threads, stats
+            probes,
+            lo,
+            hi,
+            lo_inc,
+            hi_inc,
+            negate,
+            threads,
+            stats,
+            heat_probed if heat is not None else None,
         )
         out = self._gather(verdicts, hits)
         stats.rows_out += out.shape[0]
+        if heat is not None:
+            self._record_heat(heat, verdicts, heat_probed)
         if stats.packed_probes:
             get_registry().counter("compression.packed_predicate_hits").inc(
                 stats.packed_probes

@@ -169,9 +169,20 @@ def run_tasks(
         # reading per worker (not per task): thread_time is a syscall,
         # and the delta over the whole drain is the same sum.
         cpu0 = _resources.thread_cpu() if tracker is not None else 0.0
+        # Contextvars propagate into the worker (we run inside a copy of
+        # the caller's context), but the profiler samples *threads* — so
+        # each worker also registers in the registry's thread map for
+        # the duration of the drain.  Pool threads are reused across
+        # queries, which makes the unbind mandatory.
+        registry = _queries.get_queries()
+        active = _queries.current_query()
+        if active is not None:
+            registry.bind_thread(active)
         try:
             _drain()
         finally:
+            if active is not None:
+                registry.unbind_thread()
             if tracker is not None:
                 tracker.add_cpu(_resources.thread_cpu() - cpu0)
 

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 import numpy as np
 from numpy.typing import NDArray
 
+from ..obs import heat as _heat
 from ..obs import resources
 from ..obs.metrics import get_registry
 from ..obs.trace import maybe_span
@@ -51,7 +52,7 @@ def _as_candidates(mask: NDArray[Any], candidates: Optional[NDArray[Any]]) -> ND
     return candidates[hits]
 
 
-def _account_touched(vals: NDArray[Any]) -> None:
+def _account_touched(column: Column, vals: NDArray[Any]) -> None:
     """Credit a scan's actual data volume to the active resource tracker.
 
     Post-candidate-list, so an imprint-filtered select reports the small
@@ -65,6 +66,12 @@ def _account_touched(vals: NDArray[Any]) -> None:
         )
         # Plain scans materialize everything they touch.
         tracker.add_scan_bytes(materialized=int(vals.nbytes))
+    heat = _heat.maybe_heat()
+    if heat is not None:
+        # An unsegmented plain scan: heat's whole-column pseudo-segment.
+        heat.record_scan(
+            column.name, probed=[(-1, 0, int(vals.nbytes))]
+        )
 
 
 def _numeric_bound(bound: object) -> bool:
@@ -162,7 +169,7 @@ def theta_select(
             _account_packed(packed, stats, span)
             return result
         vals = column.values if candidates is None else column.take(candidates)
-        _account_touched(vals)
+        _account_touched(column, vals)
         mask = _morsel_mask(vals, lambda part: fn(part, constant), threads)
         result = _as_candidates(mask, candidates)
         span.set(
@@ -201,7 +208,7 @@ def range_select(
             _account_packed(packed, stats, span)
             return result
         vals = column.values if candidates is None else column.take(candidates)
-        _account_touched(vals)
+        _account_touched(column, vals)
 
         def kernel(part: NDArray[Any]) -> NDArray[Any]:
             mask = np.ones(part.shape[0], dtype=bool)

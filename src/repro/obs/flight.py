@@ -196,6 +196,16 @@ class FlightRecorder:
             }
         spans = self.tracer.spans()
         record["spans"] = [span_to_dict(s) for s in spans[-DUMP_SPANS:]]
+        # What the process was *executing*, not just its breadcrumbs:
+        # the always-on sampler's hot stacks, when one is running.
+        # maybe_profiler never creates — crashing must not start sampling.
+        from .profiler import maybe_profiler
+
+        profiler = maybe_profiler()
+        if profiler is not None:
+            hot = profiler.hot_summary()
+            if hot is not None:
+                record["profile"] = hot
         return record
 
     def _counter_values(self) -> Dict[str, int]:

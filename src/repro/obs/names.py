@@ -26,6 +26,8 @@ COUNTERS: FrozenSet[str] = frozenset(
         "durability.retries",
         "durability.rolled_back_rows",
         "flight.dumps",
+        "heat.flushes",
+        "heat.updates",
         "imprints.builds",
         "imprints.segment_builds",
         "load.files",
@@ -33,6 +35,9 @@ COUNTERS: FrozenSet[str] = frozenset(
         "load.tiles_skipped",
         "obs.http_requests",
         "parallel.tasks",
+        "profiler.captures",
+        "profiler.samples",
+        "profiler.sweeps",
         "query.cancelled",
         "query.count",
         "query.errors",
@@ -52,7 +57,14 @@ COUNTERS: FrozenSet[str] = frozenset(
 #: Point-in-time values.
 GAUGES: FrozenSet[str] = frozenset(
     {
+        "heat.extents",
+        "heat.hottest_extent_bytes",
+        "heat.hottest_segment_bytes",
+        "heat.segments",
+        "heat.tables",
         "obs.server_up",
+        "profiler.rate_hz",
+        "profiler.running",
         "query.active",
         "serve.draining",
         "serve.inflight",
@@ -67,6 +79,7 @@ HISTOGRAMS: FrozenSet[str] = frozenset(
         "compression.encode_seconds",
         "imprints.build_seconds",
         "load.seconds",
+        "profiler.sweep_seconds",
         "query.cpu_seconds",
         "query.filter_seconds",
         "query.refine_seconds",

@@ -243,6 +243,7 @@ class QueryRegistry:
         self._lock = threading.Lock()
         self._active: Dict[str, ActiveQuery] = {}
         self._recent: Deque[Dict[str, Any]] = deque(maxlen=max_recent)
+        self._threads: Dict[int, ActiveQuery] = {}
 
     def active(self) -> List[ActiveQuery]:
         with self._lock:
@@ -264,6 +265,45 @@ class QueryRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._active)
+
+    # -- thread attribution (for the sampling profiler) ---------------------
+    #
+    # Contextvars cannot be read *across* threads, but the profiler's
+    # sampling thread needs to know which query each sampled thread is
+    # working for.  Query-owning threads therefore also register in a
+    # plain ``thread ident -> ActiveQuery`` map: ``track`` binds the
+    # caller's thread, and morsel workers bind themselves for the
+    # duration of a drain (:func:`repro.engine.parallel.run_tasks`).
+
+    def bind_thread(self, query: ActiveQuery) -> Optional[ActiveQuery]:
+        """Attribute the calling thread's profiler samples to ``query``.
+
+        Returns the previous binding so nested queries on one thread can
+        restore their parent via :meth:`unbind_thread`.
+        """
+        ident = threading.get_ident()
+        with self._lock:
+            previous = self._threads.get(ident)
+            self._threads[ident] = query
+        return previous
+
+    def unbind_thread(self, previous: Optional[ActiveQuery] = None) -> None:
+        """Drop (or restore to ``previous``) the calling thread's binding."""
+        ident = threading.get_ident()
+        with self._lock:
+            if previous is None:
+                self._threads.pop(ident, None)
+            else:
+                self._threads[ident] = previous
+
+    def query_for_thread(self, ident: int) -> Optional[ActiveQuery]:
+        with self._lock:
+            return self._threads.get(ident)
+
+    def thread_map(self) -> Dict[int, ActiveQuery]:
+        """Copy of the thread-attribution map, for the sampler's sweep."""
+        with self._lock:
+            return dict(self._threads)
 
     @contextmanager
     def track(
@@ -304,6 +344,7 @@ class QueryRegistry:
         registry = get_registry()
         registry.gauge("query.active").set(float(n_active))
         token = _ACTIVE.set(query)
+        previous_binding = self.bind_thread(query)
         status = "finished"
         error: Optional[str] = None
         try:
@@ -316,6 +357,7 @@ class QueryRegistry:
             error = type(exc).__name__
             raise
         finally:
+            self.unbind_thread(previous_binding)
             _ACTIVE.reset(token)
             query.finish(status, error)
             with self._lock:

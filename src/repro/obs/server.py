@@ -24,6 +24,17 @@ process's observability state:
     id, kind, phase, progress (segments done / total) and elapsed time,
     plus the recent finished-query ring.  ``repro-gis queries`` renders
     this route as a table.
+``/debug/profile``
+    On-demand CPU profile: blocks for ``?seconds=N`` (default 2, capped
+    at 30) while a burst :func:`repro.obs.profiler.capture` samples
+    every thread at ``?rate=HZ`` (default 99), then returns speedscope
+    JSON (load it at https://www.speedscope.app) or, with
+    ``?format=collapsed``, FlameGraph collapsed-stack text.  The server
+    is threaded, so other routes keep answering during the capture.
+``/debug/heat``
+    The live workload heat map (:mod:`repro.obs.heat`) decayed to now:
+    hottest segments and spatial extents by bytes touched, or
+    ``{"enabled": false}`` when heat accounting is off.
 
 Every request increments the ``obs.http_requests`` counter; the
 ``obs.server_up`` gauge is 1 while the server is bound.  Start it from
@@ -106,7 +117,10 @@ class TelemetryHandler(BaseHTTPRequestHandler):
     """
 
     #: Routes listed in the 404 body; subclasses extend.
-    known_routes = "/metrics /healthz /debug/trace /debug/queries"
+    known_routes = (
+        "/metrics /healthz /debug/trace /debug/queries "
+        "/debug/profile /debug/heat"
+    )
 
     # Quiet by default: request logging belongs to metrics, not stderr.
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -135,6 +149,10 @@ class TelemetryHandler(BaseHTTPRequestHandler):
         elif route == "/debug/queries":
             body = json.dumps(self.owner.queries.snapshot()) + "\n"
             self._respond(200, "application/json; charset=utf-8", body)
+        elif route == "/debug/profile":
+            self._debug_profile(query)
+        elif route == "/debug/heat":
+            self._debug_heat()
         else:
             self._respond(
                 404,
@@ -171,6 +189,59 @@ class TelemetryHandler(BaseHTTPRequestHandler):
         spans = self.owner.tracer.last_traces(max(0, last))
         body = json.dumps([span_to_dict(span) for span in spans]) + "\n"
         self._respond(200, "application/json; charset=utf-8", body)
+
+    #: /debug/profile caps: a capture blocks one handler thread, so the
+    #: duration is bounded; absurd rates are clamped, not 500'd.
+    MAX_PROFILE_SECONDS = 30.0
+    MAX_PROFILE_RATE_HZ = 500.0
+
+    def _debug_profile(self, query: str) -> None:
+        from . import profiler as _profiler
+
+        params = parse_qs(query)
+        try:
+            seconds = float(params.get("seconds", ["2"])[0])
+            rate = float(params.get("rate", [str(_profiler.CAPTURE_RATE_HZ)])[0])
+        except ValueError:
+            self._respond(
+                400,
+                "text/plain; charset=utf-8",
+                "seconds and rate must be numbers\n",
+            )
+            return
+        fmt = params.get("format", ["speedscope"])[0]
+        if fmt not in ("speedscope", "collapsed"):
+            self._respond(
+                400,
+                "text/plain; charset=utf-8",
+                "format must be speedscope or collapsed\n",
+            )
+            return
+        seconds = min(max(0.1, seconds), self.MAX_PROFILE_SECONDS)
+        rate = min(max(1.0, rate), self.MAX_PROFILE_RATE_HZ)
+        profile = _profiler.capture(
+            seconds=seconds,
+            rate_hz=rate,
+            queries=self.owner.queries,
+            registry=self.owner.registry,
+        )
+        if fmt == "collapsed":
+            self._respond(200, "text/plain; charset=utf-8", profile.collapsed())
+        else:
+            self._respond(
+                200,
+                "application/json; charset=utf-8",
+                profile.speedscope_json(name=f"{self.owner.url} profile"),
+            )
+
+    def _debug_heat(self) -> None:
+        from .heat import maybe_heat
+
+        heat = maybe_heat()
+        payload = heat.snapshot() if heat is not None else {"enabled": False}
+        self._respond(
+            200, "application/json; charset=utf-8", json.dumps(payload) + "\n"
+        )
 
     def _respond(self, status: int, content_type: str, body: str) -> None:
         data = body.encode("utf-8")

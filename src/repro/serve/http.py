@@ -285,7 +285,27 @@ class QueryDaemon(TelemetryServer):
         drained = self.service.drain(timeout_s)
         self.stop()
         self._shutdown.set()
+        self.flush_heat(force=True)
         return drained
+
+    def flush_heat(self, force: bool = False) -> None:
+        """Persist the heat map's current window, when heat is enabled.
+
+        Failures are swallowed (``Exception`` only — injected crashes
+        pass through): a full disk must not take the drain path down.
+        """
+        from ..obs.heat import maybe_heat
+
+        heat = maybe_heat()
+        if heat is None:
+            return
+        try:
+            if force:
+                heat.flush()
+            else:
+                heat.maybe_flush()
+        except Exception:
+            pass
 
     def install_signal_handlers(self) -> None:
         """Chain SIGTERM: drain first, then the previous handler.
@@ -309,10 +329,15 @@ class QueryDaemon(TelemetryServer):
         signal.signal(signal.SIGTERM, _on_sigterm)
 
     def wait(self) -> None:
-        """Block the main thread until shutdown, polling for publishes."""
+        """Block the main thread until shutdown, polling for publishes.
+
+        The poll tick doubles as the heat journal's flush heartbeat
+        (:meth:`flush_heat` is interval-gated, so most ticks no-op).
+        """
         poll = self.reload_poll_s
         while not self._shutdown.is_set():
             if self._shutdown.wait(timeout=poll if poll else 1.0):
                 break
             if poll:
                 self.service.snapshots.reload_if_changed()
+            self.flush_heat()

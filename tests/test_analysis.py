@@ -511,6 +511,70 @@ class TestCounterRegistry:
         )
         assert len(report.findings) == 1
 
+    def test_unregistered_heat_counter_flagged_with_hint(self, tmp_path):
+        # Seeded bug: a heat counter that skipped obs/names.py.  The
+        # emitting modules (repro/obs/heat.py, repro/obs/profiler.py)
+        # are deliberately not obs-exempt, so R6 covers them.
+        report = check(
+            tmp_path,
+            {
+                "repro/obs/heat.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("heat.segment_probes").inc()\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert len(report.findings) == 1
+        assert "heat.segment_probes" in report.findings[0].message
+
+    def test_typod_profiler_counter_flagged_with_hint(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/obs/profiler.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("profiler.sweep").inc()\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert len(report.findings) == 1
+        assert "profiler.sweeps" in report.findings[0].message  # hint
+
+    def test_profiler_and_heat_names_are_declared(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("heat.updates").inc()\n'
+                    'get_registry().counter("heat.flushes").inc()\n'
+                    'get_registry().counter("profiler.sweeps").inc()\n'
+                    'get_registry().counter("profiler.samples").inc()\n'
+                    'get_registry().counter("profiler.captures").inc()\n'
+                    'get_registry().gauge("heat.tables").set(1.0)\n'
+                    'get_registry().gauge("profiler.running").set(1.0)\n'
+                    'get_registry().histogram("profiler.sweep_seconds")\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert report.findings == []
+
+    def test_heat_gauge_used_as_counter_flagged(self, tmp_path):
+        report = check(
+            tmp_path,
+            {
+                "repro/x.py": (
+                    "from repro.obs.metrics import get_registry\n"
+                    'get_registry().counter("heat.extents").inc()\n'
+                )
+            },
+            rule_ids=["counter-registry"],
+        )
+        assert len(report.findings) == 1
+
 
 # -- R7 resource-leak ----------------------------------------------------------
 
